@@ -1,0 +1,229 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_quantum` — DP time-quantum `u` (solution quality vs cost);
+//! * `ablation_state_compression` — §3.3's (n_exact, n_approx)
+//!   approximation vs the exact age multiset;
+//! * `ablation_truncation` — the `min(ω, k·MTBF/p)` work truncation;
+//! * `ablation_rejuvenation` — failed-only vs rejuvenate-all execution
+//!   (the Appendix-B footnote comparison, Exponential failures).
+
+use ckpt_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::sync::Once;
+
+fn weibull_cell() -> (JobSpec, Weibull, f64) {
+    let mtbf = 125.0 * YEAR;
+    let spec = JobSpec::table1_petascale(1 << 12);
+    (spec, Weibull::from_mtbf(0.7, mtbf), mtbf)
+}
+
+/// The NextFailure objective value of a DP plan (bigger is better).
+fn plan_value(spec: &JobSpec, dist: &Weibull, mtbf: f64, cfg: DpNextFailureConfig) -> f64 {
+    let dp = DpNextFailure::new(spec, Box::new(*dist), mtbf, cfg);
+    let ages = AgeView::all_pristine(spec.procs, 60.0);
+    let plan = dp.plan(spec.work, &ages);
+    let compressed = ckpt_core::policies::dp_next_failure::compress_ages(
+        &ages,
+        dist,
+        StateCompression::Exact,
+    );
+    ckpt_core::policies::dp_next_failure::expected_work_of_schedule(
+        dist,
+        &compressed,
+        &plan,
+        spec.checkpoint,
+    )
+}
+
+fn ablation_quantum(c: &mut Criterion) {
+    let (spec, dist, mtbf) = weibull_cell();
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("ablation_quantum — NextFailure objective vs quantum count:");
+        for quanta in [25usize, 50, 100, 200, 400] {
+            let v = plan_value(
+                &spec,
+                &dist,
+                mtbf,
+                DpNextFailureConfig {
+                    quanta: Some(quanta),
+                    use_half_schedule: false,
+                    ..Default::default()
+                },
+            );
+            println!("  quanta = {quanta:>4}: E[work before failure] = {v:.1} s");
+        }
+    });
+    let mut g = c.benchmark_group("ablation_quantum");
+    for quanta in [50usize, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(quanta), &quanta, |b, &q| {
+            b.iter(|| {
+                std::hint::black_box(plan_value(
+                    &spec,
+                    &dist,
+                    mtbf,
+                    DpNextFailureConfig {
+                        quanta: Some(q),
+                        use_half_schedule: false,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_state_compression(c: &mut Criterion) {
+    let (spec, dist, _) = weibull_cell();
+    // A mid-execution age population: 48 failed units.
+    let failed: Vec<(f64, u32)> = (0..48).map(|i| ((i as f64 + 1.0) * 15_000.0, 1)).collect();
+    let ages = AgeView::new(failed, spec.procs - 48, 1.5 * YEAR);
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        use ckpt_core::policies::dp_next_failure::compress_ages;
+        let exact = compress_ages(&ages, &dist, StateCompression::Exact);
+        let approx = compress_ages(&ages, &dist, StateCompression::paper());
+        let lp = |set: &[(f64, f64)], x: f64| -> f64 {
+            set.iter()
+                .map(|&(t, n)| n * (dist.log_survival(t + x) - dist.log_survival(t)))
+                .sum::<f64>()
+                .exp()
+        };
+        println!("ablation_state_compression — Psuc relative error (paper claims ≤ 0.2 %):");
+        for i in 0..=6u32 {
+            let x = 87_000.0 / f64::from(1u32 << i);
+            let pe = lp(&exact, x);
+            let pa = lp(&approx, x);
+            println!(
+                "  chunk = MTBF/2^{i}: exact {pe:.6}, approx {pa:.6}, rel err {:.3e}",
+                (pa - pe).abs() / pe
+            );
+        }
+    });
+    c.bench_function("ablation_state_compression_paper", |b| {
+        b.iter(|| {
+            std::hint::black_box(ckpt_core::policies::dp_next_failure::compress_ages(
+                &ages,
+                &dist,
+                StateCompression::paper(),
+            ))
+        })
+    });
+}
+
+fn ablation_truncation(c: &mut Criterion) {
+    let (spec, dist, mtbf) = weibull_cell();
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("ablation_truncation — plan length vs truncation multiple:");
+        for mult in [0.5f64, 1.0, 2.0, 4.0] {
+            let dp = DpNextFailure::new(
+                &spec,
+                Box::new(dist),
+                mtbf,
+                DpNextFailureConfig {
+                    truncation_mtbf_multiple: mult,
+                    ..Default::default()
+                },
+            );
+            let plan = dp.plan(spec.work, &AgeView::all_pristine(spec.procs, 60.0));
+            let total: f64 = plan.iter().sum();
+            println!(
+                "  {mult:>3}×MTBF/p: {} chunks, {:.0} s of work scheduled",
+                plan.len(),
+                total
+            );
+        }
+    });
+    let mut g = c.benchmark_group("ablation_truncation");
+    for mult in [1.0f64, 2.0, 4.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(mult), &mult, |b, &m| {
+            let dp = DpNextFailure::new(
+                &spec,
+                Box::new(dist),
+                mtbf,
+                DpNextFailureConfig { truncation_mtbf_multiple: m, ..Default::default() },
+            );
+            b.iter(|| {
+                // Distinct age per iteration to defeat the plan cache: we
+                // are measuring the solve.
+                static COUNTER: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let k = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let ages = AgeView::all_pristine(spec.procs, 60.0 + k as f64 * 7_919.0);
+                std::hint::black_box(dp.plan(spec.work, &ages).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_rejuvenation(c: &mut Criterion) {
+    // Exponential failures: both rejuvenation options should agree
+    // (memorylessness) — the Appendix-B footnote check.
+    let p = 1u64 << 10;
+    let mtbf = 125.0 * YEAR;
+    let spec = JobSpec::table1_petascale(p);
+    let proc = Exponential::from_mtbf(mtbf);
+    let plat = Exponential::from_mtbf(mtbf / p as f64);
+    let policy = young(&spec, mtbf);
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let runs = 24;
+        let mut failed_only = 0.0;
+        for i in 0..runs {
+            let traces = TraceSet::generate(
+                &proc,
+                p as usize,
+                Topology::per_processor(),
+                11.0 * YEAR,
+                YEAR,
+                SeedSequence::from_label("ablation-rejuv").child(i),
+            );
+            let mut s = policy.session();
+            failed_only += simulate(
+                &spec,
+                &mut *s,
+                &traces.platform_events(),
+                1,
+                traces.start_time,
+                traces.horizon,
+                SimOptions::default(),
+            )
+            .makespan;
+        }
+        let mut rejuv_all = 0.0;
+        for i in 0..runs {
+            let mut s = policy.session();
+            rejuv_all +=
+                simulate_rejuvenate_all(&spec, &mut *s, &plat, i, SimOptions::default()).makespan;
+        }
+        println!(
+            "ablation_rejuvenation (Exponential, p = {p}): failed-only {:.3} d, \
+             rejuvenate-all {:.3} d (should be close — memorylessness)",
+            failed_only / runs as f64 / DAY,
+            rejuv_all / runs as f64 / DAY
+        );
+    });
+    c.bench_function("ablation_rejuvenation_all_model", |b| {
+        b.iter(|| {
+            let mut s = policy.session();
+            std::hint::black_box(
+                simulate_rejuvenate_all(&spec, &mut *s, &plat, 42, SimOptions::default())
+                    .makespan,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = ablation_quantum, ablation_state_compression, ablation_truncation,
+              ablation_rejuvenation
+}
+criterion_main!(ablations);

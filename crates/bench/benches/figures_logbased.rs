@@ -1,0 +1,78 @@
+//! Benches regenerating the log-based figures (7 and 100) from the
+//! synthetic LANL-like availability logs.
+//!
+//! Log-based platforms are extremely failure-dense (§6: platform MTBF
+//! ≈ 1,297 s at full scale), so the bench cells run a proportionally
+//! shortened job — degradation is a ratio, so the who-wins shape is
+//! unchanged while the wall-clock stays bench-sized. The `ckpt-exp`
+//! binary runs the full-length jobs.
+
+use ckpt_core::exp::output::{csv_series, CSV_HEADER};
+use ckpt_core::exp::{run_scenario, DistSpec, PolicyKind, RunnerOptions, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::Once;
+
+const TRACES: usize = 2;
+/// Job-shortening divisor for bench cells.
+const WORK_DIVISOR: f64 = 20.0;
+
+fn log_cell(cluster: u32, procs: u64, traces: usize) -> ckpt_core::exp::ScenarioResult {
+    let mut sc = Scenario::petascale(DistSpec::LanlLog { cluster }, procs, traces);
+    sc.total_work /= WORK_DIVISOR;
+    sc.label = format!("bench-{}", sc.label);
+    run_scenario(
+        &sc,
+        &PolicyKind::log_based_roster(),
+        &RunnerOptions::default(),
+    )
+}
+
+fn fig7_logbased(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut csv = String::from(CSV_HEADER);
+        for p in [1u64 << 12, 1 << 14] {
+            csv.push_str(&csv_series(p as f64, &log_cell(19, p, TRACES)));
+        }
+        println!("Figure 7 series (LANL cluster 19, shortened job):\n{csv}");
+    });
+    c.bench_function("fig7_logbased_cell", |b| {
+        b.iter(|| std::hint::black_box(log_cell(19, 1 << 12, 1).outcomes.len()))
+    });
+}
+
+fn fig100_both_clusters(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for cluster in [18u32, 19] {
+            let mut csv = String::from(CSV_HEADER);
+            for p in [1u64 << 12, 1 << 13] {
+                csv.push_str(&csv_series(p as f64, &log_cell(cluster, p, TRACES)));
+            }
+            println!("Figure 100 series (cluster {cluster}, shortened job):\n{csv}");
+        }
+    });
+    c.bench_function("fig100_cluster18_cell", |b| {
+        b.iter(|| {
+            let mut sc = Scenario::petascale(DistSpec::LanlLog { cluster: 18 }, 1 << 12, 1);
+            sc.total_work /= WORK_DIVISOR;
+            sc.label = format!("bench18-{}", sc.label);
+            let r = run_scenario(
+                &sc,
+                &[PolicyKind::Young, PolicyKind::DpNextFailure(Default::default())],
+                &RunnerOptions { period_lb: None, ..Default::default() },
+            );
+            std::hint::black_box(r.outcomes.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = logbased;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = fig7_logbased, fig100_both_clusters
+}
+criterion_main!(logbased);

@@ -1,0 +1,154 @@
+//! Benches regenerating the synthetic-failure figures (2–6, 8/9, 98/99)
+//! at reduced scale: one representative platform size per figure, a few
+//! traces — enough to reproduce each figure's *shape* (who wins, roughly
+//! by how much) while keeping `cargo bench` tractable.
+
+use ckpt_core::exp::experiments as ex;
+use ckpt_core::exp::output::{csv_series, markdown_table, CSV_HEADER};
+use ckpt_core::exp::{run_scenario, DistSpec, PolicyKind, RunnerOptions, Scenario};
+use ckpt_core::prelude::{DAY, YEAR};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::Once;
+
+const TRACES: usize = 3;
+
+fn cell(weibull: bool, procs: u64, traces: usize) -> ckpt_core::exp::ScenarioResult {
+    let mtbf = 125.0 * YEAR;
+    let dist = if weibull {
+        DistSpec::Weibull { shape: 0.7, mtbf }
+    } else {
+        DistSpec::Exponential { mtbf }
+    };
+    let sc = Scenario::petascale(dist, procs, traces);
+    run_scenario(
+        &sc,
+        &PolicyKind::paper_roster(!weibull),
+        &RunnerOptions::default(),
+    )
+}
+
+fn fig2_peta_exp(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut csv = String::from(CSV_HEADER);
+        for p in [1u64 << 10, 1 << 12] {
+            csv.push_str(&csv_series(p as f64, &cell(false, p, TRACES)));
+        }
+        println!("Figure 2 series (Exponential, Petascale):\n{csv}");
+    });
+    c.bench_function("fig2_peta_exp_cell", |b| {
+        b.iter(|| std::hint::black_box(cell(false, 1 << 11, 1).outcomes.len()))
+    });
+}
+
+fn fig4_peta_weibull(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut csv = String::from(CSV_HEADER);
+        for p in [1u64 << 10, 1 << 12] {
+            csv.push_str(&csv_series(p as f64, &cell(true, p, TRACES)));
+        }
+        println!("Figure 4 series (Weibull, Petascale):\n{csv}");
+    });
+    c.bench_function("fig4_peta_weibull_cell", |b| {
+        b.iter(|| std::hint::black_box(cell(true, 1 << 11, 1).outcomes.len()))
+    });
+}
+
+fn fig3_fig6_exascale(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // One Exascale cell each for the Exponential (fig 3) and Weibull
+        // (fig 6) variants.
+        for weibull in [false, true] {
+            let dist = if weibull {
+                DistSpec::Weibull { shape: 0.7, mtbf: 1_250.0 * YEAR }
+            } else {
+                DistSpec::Exponential { mtbf: 1_250.0 * YEAR }
+            };
+            let sc = Scenario::exascale(dist, 1 << 15, 1);
+            let r = run_scenario(
+                &sc,
+                &PolicyKind::paper_roster(!weibull),
+                &RunnerOptions::default(),
+            );
+            println!(
+                "Figure {} cell (p = 2^15):\n{}",
+                if weibull { 6 } else { 3 },
+                markdown_table(&r)
+            );
+        }
+    });
+    c.bench_function("fig6_exa_weibull_cell", |b| {
+        b.iter(|| {
+            let sc = Scenario::exascale(
+                DistSpec::Weibull { shape: 0.7, mtbf: 1_250.0 * YEAR },
+                1 << 14,
+                1,
+            );
+            let r = run_scenario(
+                &sc,
+                &[PolicyKind::Young, PolicyKind::DpNextFailure(Default::default())],
+                &RunnerOptions { period_lb: None, ..Default::default() },
+            );
+            std::hint::black_box(r.outcomes.len())
+        })
+    });
+}
+
+fn fig5_shape_sweep(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let rows = ex::fig5(&[0.3, 0.7], 1);
+        let mut csv = String::from(CSV_HEADER);
+        for (k, r) in &rows {
+            csv.push_str(&csv_series(*k, r));
+        }
+        println!("Figure 5 series (shape sweep, p = 45,208):\n{csv}");
+    });
+    c.bench_function("fig5_shape_cell", |b| {
+        b.iter(|| std::hint::black_box(ex::fig5(&[0.7], 1).len()))
+    });
+}
+
+fn fig8_period_sweep_seq(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let r = ex::fig89(false, DAY, TRACES);
+        println!("Figure 8 (1-proc Exponential period sweep):\n{}", markdown_table(&r));
+        let r = ex::fig89(true, DAY, TRACES);
+        println!("Figure 9 (1-proc Weibull period sweep):\n{}", markdown_table(&r));
+    });
+    c.bench_function("fig8_period_sweep_seq", |b| {
+        b.iter(|| std::hint::black_box(ex::fig89(false, DAY, 1).outcomes.len()))
+    });
+}
+
+fn fig98_makespan_profiles(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let series = ex::fig9899(&PolicyKind::OptExp, false, 2);
+        println!("Figure 98 (mean makespan by application profile, OptExp):");
+        for (model, pts) in &series {
+            let line: Vec<String> = pts
+                .iter()
+                .map(|(p, m)| format!("p={p}:{:.1}d", m / DAY))
+                .collect();
+            println!("  {model}: {}", line.join(" "));
+        }
+    });
+    c.bench_function("fig98_makespan_profiles", |b| {
+        b.iter(|| std::hint::black_box(ex::fig9899(&PolicyKind::OptExp, false, 1).len()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = fig2_peta_exp, fig4_peta_weibull, fig3_fig6_exascale, fig5_shape_sweep,
+              fig8_period_sweep_seq, fig98_makespan_profiles
+}
+criterion_main!(figures);

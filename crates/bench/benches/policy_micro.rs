@@ -1,0 +1,112 @@
+//! Micro-benches of the numerical and algorithmic hot paths.
+
+use ckpt_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn lambert_w(c: &mut Criterion) {
+    c.bench_function("lambert_w0_theorem1_arg", |b| {
+        let z = -(-1e-4f64 - 1.0).exp();
+        b.iter(|| std::hint::black_box(ckpt_core::math::lambert_w0(std::hint::black_box(z))))
+    });
+}
+
+fn optexp_construction(c: &mut Criterion) {
+    let spec = JobSpec::table1_petascale(45_208);
+    c.bench_function("optexp_period_jaguar", |b| {
+        b.iter(|| std::hint::black_box(OptExp::from_mtbf(&spec, 125.0 * YEAR).period()))
+    });
+}
+
+fn weibull_expected_loss(c: &mut Criterion) {
+    let d = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+    c.bench_function("weibull_expected_loss_quadrature", |b| {
+        b.iter(|| std::hint::black_box(d.expected_loss(3_600.0, 50_000.0)))
+    });
+}
+
+fn dp_next_failure_plan(c: &mut Criterion) {
+    let spec = JobSpec::table1_petascale(1 << 12);
+    let mtbf = 125.0 * YEAR;
+    let dp = DpNextFailure::new(
+        &spec,
+        Box::new(Weibull::from_mtbf(0.7, mtbf)),
+        mtbf,
+        DpNextFailureConfig { quanta: Some(120), ..Default::default() },
+    );
+    c.bench_function("dp_next_failure_plan_120q", |b| {
+        b.iter(|| {
+            // Vary the age to defeat the plan cache — we measure the solve.
+            static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let k = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let ages = AgeView::all_pristine(spec.procs, 60.0 + k as f64 * 4_099.0);
+            std::hint::black_box(dp.plan(spec.work, &ages).len())
+        })
+    });
+}
+
+fn dp_makespan_build(c: &mut Criterion) {
+    let spec = JobSpec::table1_single_processor();
+    c.bench_function("dp_makespan_build_60q_weibull", |b| {
+        b.iter(|| {
+            let dp = DpMakespan::new(
+                &spec,
+                Box::new(Weibull::from_mtbf(0.7, DAY)),
+                DpMakespanConfig { quanta: Some(60), assume_memoryless: false },
+            );
+            std::hint::black_box(dp.value(60, 0.0))
+        })
+    });
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let spec = JobSpec::table1_single_processor();
+    let dist = Exponential::from_mtbf(6.0 * HOUR);
+    let traces = TraceSet::generate(
+        &dist,
+        1,
+        Topology::per_processor(),
+        2.0 * YEAR,
+        0.0,
+        SeedSequence::from_label("micro-engine"),
+    );
+    let events = traces.platform_events();
+    let policy = young(&spec, 6.0 * HOUR);
+    c.bench_function("engine_one_trace_seq", |b| {
+        b.iter(|| {
+            let mut s = policy.session();
+            std::hint::black_box(
+                simulate(&spec, &mut *s, &events, 1, 0.0, traces.horizon, SimOptions::default())
+                    .makespan,
+            )
+        })
+    });
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let dist = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+    c.bench_function("trace_generation_4096_procs", |b| {
+        b.iter(|| {
+            let t = TraceSet::generate(
+                &dist,
+                4_096,
+                Topology::per_processor(),
+                11.0 * YEAR,
+                YEAR,
+                SeedSequence::from_label("micro-gen"),
+            );
+            std::hint::black_box(t.platform_events().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = lambert_w, optexp_construction, weibull_expected_loss,
+              dp_next_failure_plan, dp_makespan_build, engine_throughput,
+              trace_generation
+}
+criterion_main!(micro);

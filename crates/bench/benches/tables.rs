@@ -1,0 +1,69 @@
+//! Benches regenerating the paper's tables (reduced trace counts).
+//!
+//! Each bench runs one full degradation-from-best comparison and prints
+//! the resulting rows once, so `cargo bench` both measures the harness
+//! and reproduces the table shapes.
+
+use ckpt_core::exp::experiments as ex;
+use ckpt_core::exp::output::markdown_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::Once;
+
+const TRACES: usize = 4;
+/// Per-iteration trace count (the measured body).
+const ITER_TRACES: usize = 2;
+
+fn table2_seq_exp(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for (label, r) in ex::table23(false, TRACES) {
+            println!("Table 2 (MTBF {label}):\n{}", markdown_table(&r));
+        }
+    });
+    c.bench_function("table2_seq_exp", |b| {
+        b.iter(|| {
+            let rows = ex::table23(false, ITER_TRACES);
+            std::hint::black_box(rows.len())
+        })
+    });
+}
+
+fn table3_seq_weibull(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for (label, r) in ex::table23(true, TRACES) {
+            println!("Table 3 (MTBF {label}):\n{}", markdown_table(&r));
+        }
+    });
+    c.bench_function("table3_seq_weibull", |b| {
+        b.iter(|| {
+            let rows = ex::table23(true, ITER_TRACES);
+            std::hint::black_box(rows.len())
+        })
+    });
+}
+
+fn table4_peta_weibull(c: &mut Criterion) {
+    // Full-Jaguar cell at a bench-friendly trace count.
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let r = ex::table4(3);
+        println!("Table 4 (p = 45,208, 3 traces):\n{}", markdown_table(&r));
+    });
+    c.bench_function("table4_peta_weibull", |b| {
+        b.iter(|| {
+            let r = ex::table4(1);
+            std::hint::black_box(r.outcomes.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = table2_seq_exp, table3_seq_weibull, table4_peta_weibull
+}
+criterion_main!(tables);

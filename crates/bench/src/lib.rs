@@ -1,0 +1,36 @@
+//! Bench-only crate: shared helpers for the Criterion benches that
+//! regenerate the paper's tables and figures at reduced trace counts.
+
+use ckpt_core::prelude::*;
+
+/// Trace count used by the benches. Small enough for `cargo bench` to
+/// finish promptly; the `ckpt-exp` binary runs the paper's full 600.
+pub const BENCH_TRACES: usize = 8;
+
+/// A small single-processor scenario used by several micro-benches.
+pub fn bench_scenario_1proc_weibull() -> Scenario {
+    Scenario::single_processor(
+        DistSpec::Weibull { shape: 0.7, mtbf: DAY },
+        BENCH_TRACES,
+    )
+}
+
+/// A reduced Petascale cell (2^12 processors) used by figure benches.
+pub fn bench_scenario_peta_weibull() -> Scenario {
+    Scenario::petascale(
+        DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
+        1 << 12,
+        BENCH_TRACES,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build() {
+        assert_eq!(bench_scenario_1proc_weibull().procs, 1);
+        assert_eq!(bench_scenario_peta_weibull().procs, 1 << 12);
+    }
+}

@@ -1,0 +1,56 @@
+//! High-level one-call helpers.
+
+use ckpt_exp::{run_scenario, PolicyKind, RunnerOptions, Scenario, ScenarioResult};
+use ckpt_policies::OptExp;
+use ckpt_workload::JobSpec;
+
+/// The Theorem-1 optimal checkpoint period (seconds of work between
+/// checkpoints) for Exponential failures with the given per-processor
+/// MTBF.
+pub fn optimal_period(spec: &JobSpec, proc_mtbf: f64) -> f64 {
+    OptExp::from_mtbf(spec, proc_mtbf).period()
+}
+
+/// The Theorem-1 optimal expected makespan for a sequential job, seconds.
+///
+/// # Panics
+/// Panics when `spec.procs != 1` (the closed form is sequential; parallel
+/// expectations need simulation, §3.2).
+pub fn expected_makespan(spec: &JobSpec, mtbf: f64) -> f64 {
+    ckpt_policies::optexp::optimal_expected_makespan_sequential(spec, 1.0 / mtbf)
+}
+
+/// Run a full degradation-from-best comparison (the paper's table format)
+/// on one scenario with the standard §4.1 roster.
+pub fn degradation_table(scenario: &Scenario) -> ScenarioResult {
+    let include_dp_makespan = scenario.procs == 1
+        || matches!(scenario.dist, ckpt_exp::DistSpec::Exponential { .. });
+    let kinds = PolicyKind::paper_roster(include_dp_makespan);
+    run_scenario(scenario, &kinds, &RunnerOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_period_positive_and_bounded() {
+        let spec = JobSpec::table1_single_processor();
+        let p = optimal_period(&spec, 86_400.0);
+        assert!(p > 0.0 && p <= spec.work);
+    }
+
+    #[test]
+    fn expected_makespan_exceeds_work() {
+        let spec = JobSpec::table1_single_processor();
+        let m = expected_makespan(&spec, 7.0 * 86_400.0);
+        assert!(m > spec.work);
+    }
+
+    #[test]
+    #[should_panic]
+    fn expected_makespan_rejects_parallel() {
+        let spec = JobSpec::table1_petascale(1024);
+        expected_makespan(&spec, 1e9);
+    }
+}

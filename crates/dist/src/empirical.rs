@@ -1,0 +1,198 @@
+//! Empirical distribution built from logged availability intervals (§4.3).
+//!
+//! The paper constructs the log-based failure model as: *"the conditional
+//! probability `P(X ≥ t | X ≥ τ)` that a node stays up for a duration `t`,
+//! knowing that it had been up for a duration `τ`, is set equal to the ratio
+//! of the number of availability durations in S greater than or equal to
+//! `t`, over the number of availability durations in S greater than or
+//! equal to `τ`."* That is exactly the survival-ratio definition the
+//! [`FailureDistribution`] trait derives from `log_survival`, so this type
+//! only needs to expose the counting survival function over the sorted
+//! sample.
+
+use crate::FailureDistribution;
+use rand::RngCore;
+
+/// Discrete empirical failure distribution over a log's availability
+/// durations.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// Sorted ascending availability durations.
+    durations: Vec<f64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Build from a set of availability durations (seconds).
+    ///
+    /// # Panics
+    /// Panics on an empty set or non-finite/negative durations.
+    pub fn from_durations(mut durations: Vec<f64>) -> Self {
+        assert!(!durations.is_empty(), "Empirical: empty duration set");
+        assert!(
+            durations.iter().all(|d| d.is_finite() && *d > 0.0),
+            "Empirical: durations must be positive and finite"
+        );
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mean =
+            durations.iter().copied().collect::<ckpt_math::KahanSum>().value()
+                / durations.len() as f64;
+        Self { durations, mean }
+    }
+
+    /// Number of logged durations.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// True when the log holds no durations (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Count of durations `≥ t` (the numerator/denominator of §4.3).
+    pub fn count_at_least(&self, t: f64) -> usize {
+        // First index with duration ≥ t.
+        let idx = self.durations.partition_point(|&d| d < t);
+        self.durations.len() - idx
+    }
+
+    /// Largest logged duration — the support's upper edge.
+    pub fn max_duration(&self) -> f64 {
+        *self.durations.last().expect("non-empty")
+    }
+}
+
+impl FailureDistribution for Empirical {
+    fn log_survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let c = self.count_at_least(t);
+        if c == 0 {
+            f64::NEG_INFINITY
+        } else {
+            (c as f64 / self.durations.len() as f64).ln()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng;
+        self.durations[rng.gen_range(0..self.durations.len())]
+    }
+
+    fn inverse_survival(&self, s: f64) -> f64 {
+        assert!(s > 0.0 && s <= 1.0);
+        // Smallest t with count_at_least(t)/n ≤ s: step to the next order
+        // statistic. Survival at the i-th sorted value (0-based) is
+        // (n − i)/n, so we need i ≥ n(1 − s).
+        let n = self.durations.len();
+        let i = ((n as f64) * (1.0 - s)).ceil() as usize;
+        self.durations[i.min(n - 1)]
+    }
+
+    fn clone_box(&self) -> Box<dyn FailureDistribution> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_log() -> Empirical {
+        Empirical::from_durations(vec![10.0, 20.0, 30.0, 40.0, 50.0])
+    }
+
+    #[test]
+    fn counting_survival() {
+        let e = sample_log();
+        assert_eq!(e.count_at_least(0.0), 5);
+        assert_eq!(e.count_at_least(10.0), 5);
+        assert_eq!(e.count_at_least(10.1), 4);
+        assert_eq!(e.count_at_least(50.0), 1);
+        assert_eq!(e.count_at_least(50.1), 0);
+        assert!((e.survival(25.0) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_conditional_ratio() {
+        // §4.3: P(X ≥ t | X ≥ τ) = #{d ≥ t} / #{d ≥ τ}.
+        let e = sample_log();
+        // P(X ≥ 40 | X ≥ 20) = 2/4.
+        assert!((e.psuc(20.0, 20.0) - 0.5).abs() < 1e-12);
+        // P(X ≥ 45 | X ≥ 15) = 1/4.
+        assert!((e.psuc(30.0, 15.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_support_survival_zero() {
+        let e = sample_log();
+        assert_eq!(e.survival(60.0), 0.0);
+        assert_eq!(e.psuc(100.0, 0.0), 0.0);
+        // Conditioning past the support: conservative 0.
+        assert_eq!(e.psuc(1.0, 60.0), 0.0);
+    }
+
+    #[test]
+    fn mean_is_sample_mean() {
+        let e = sample_log();
+        assert!((e.mean() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_draws_logged_values() {
+        let e = sample_log();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = e.sample(&mut rng);
+            assert!([10.0, 20.0, 30.0, 40.0, 50.0].contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_log() {
+        let e = sample_log();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let tens = (0..n).filter(|_| e.sample(&mut rng) == 10.0).count();
+        let frac = tens as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn inverse_survival_steps_through_order_statistics() {
+        let e = sample_log();
+        assert_eq!(e.inverse_survival(1.0), 10.0);
+        // Survival(30) = 3/5 = 0.6 → inverse at 0.6 is 30.
+        assert_eq!(e.inverse_survival(0.6), 30.0);
+        assert_eq!(e.inverse_survival(0.2), 50.0);
+        // Below the smallest achievable survival: max duration.
+        assert_eq!(e.inverse_survival(0.05), 50.0);
+    }
+
+    #[test]
+    fn expected_loss_within_window() {
+        let e = sample_log();
+        let loss = e.expected_loss(35.0, 0.0);
+        assert!(loss > 0.0 && loss < 35.0, "got {loss}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        Empirical::from_durations(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive() {
+        Empirical::from_durations(vec![1.0, 0.0]);
+    }
+}

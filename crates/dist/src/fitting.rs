@@ -1,0 +1,173 @@
+//! Distribution fitting — the inference side of §4.3/§6.
+//!
+//! The paper's log-based pipeline needs two fits:
+//!
+//! * the MTBF-only heuristics "pretend the underlying distribution is
+//!   Exponential with the same MTBF as the empirical MTBF computed from
+//!   the log" — [`fit_exponential`];
+//! * Liu's policy (and the studies the synthetic logs are matched to —
+//!   Schroeder & Gibson report shapes 0.33–0.49) fit a **Weibull** to the
+//!   availability durations — [`fit_weibull_mle`], maximum likelihood via
+//!   Newton iteration on the profile-likelihood shape equation.
+//!
+//! For Weibull MLE, with observations `x₁…x_n`, the shape `k` solves
+//!
+//! ```text
+//! g(k) = Σ xᵢᵏ ln xᵢ / Σ xᵢᵏ − 1/k − (1/n) Σ ln xᵢ = 0,
+//! ```
+//!
+//! and the scale follows as `λ = (Σ xᵢᵏ / n)^{1/k}`.
+
+use crate::{Exponential, Weibull};
+
+/// Fit an Exponential by the method of moments (= MLE): `λ = 1/mean`.
+///
+/// # Panics
+/// Panics on an empty or non-positive sample.
+pub fn fit_exponential(samples: &[f64]) -> Exponential {
+    assert!(!samples.is_empty(), "fit_exponential: empty sample");
+    assert!(
+        samples.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "fit_exponential: samples must be positive"
+    );
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Exponential::from_mtbf(mean)
+}
+
+/// Maximum-likelihood Weibull fit.
+///
+/// Returns the fitted distribution; Newton iteration on the shape
+/// equation with a bisection fallback guarantees convergence for any
+/// non-degenerate positive sample.
+///
+/// # Panics
+/// Panics on an empty, non-positive, or constant sample.
+pub fn fit_weibull_mle(samples: &[f64]) -> Weibull {
+    assert!(samples.len() >= 2, "fit_weibull_mle: need at least 2 samples");
+    assert!(
+        samples.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "fit_weibull_mle: samples must be positive"
+    );
+    let n = samples.len() as f64;
+    let mean_ln: f64 = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    assert!(
+        samples.iter().any(|&x| (x.ln() - mean_ln).abs() > 1e-12),
+        "fit_weibull_mle: constant sample has no Weibull MLE"
+    );
+
+    // Work with scaled logs for numerical stability: replacing xᵢ by
+    // xᵢ/s rescales λ by s and leaves k invariant.
+    let scale0 = samples.iter().copied().fold(0.0f64, f64::max);
+    let logs: Vec<f64> = samples.iter().map(|&x| (x / scale0).ln()).collect();
+    let mean_log: f64 = logs.iter().sum::<f64>() / n;
+
+    // g(k) as above, on the scaled sample (all logs ≤ 0 keeps xᵢᵏ ≤ 1).
+    let g = |k: f64| -> f64 {
+        let mut sum_pow = 0.0;
+        let mut sum_pow_ln = 0.0;
+        for &l in &logs {
+            let p = (k * l).exp();
+            sum_pow += p;
+            sum_pow_ln += p * l;
+        }
+        sum_pow_ln / sum_pow - 1.0 / k - mean_log
+    };
+
+    // Bracket: g is increasing in k; start from the moment-style guess.
+    let var_log: f64 = logs.iter().map(|&l| (l - mean_log) * (l - mean_log)).sum::<f64>() / n;
+    let mut k = (std::f64::consts::PI / (6.0 * var_log).sqrt()).clamp(0.02, 50.0);
+    // Expand a bracket around the guess.
+    let (mut lo, mut hi) = (k, k);
+    for _ in 0..200 {
+        if g(lo) < 0.0 {
+            break;
+        }
+        lo /= 1.5;
+    }
+    for _ in 0..200 {
+        if g(hi) > 0.0 {
+            break;
+        }
+        hi *= 1.5;
+    }
+    k = ckpt_math::brent(g, lo, hi, 1e-12 * hi);
+
+    let sum_pow: f64 = logs.iter().map(|&l| (k * l).exp()).sum();
+    let lambda = scale0 * (sum_pow / n).powf(1.0 / k);
+    Weibull::new(k, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(dist: &dyn FailureDistribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_mean() {
+        let d = Exponential::from_mtbf(1_234.0);
+        let s = sample(&d, 100_000, 1);
+        let fit = fit_exponential(&s);
+        assert!((fit.mean() - 1_234.0).abs() < 20.0, "fit mean {}", fit.mean());
+    }
+
+    #[test]
+    fn weibull_mle_recovers_parameters() {
+        for &(k, lam) in &[(0.5, 1_000.0), (0.7, 50.0), (1.0, 500.0), (2.0, 10.0)] {
+            let d = Weibull::new(k, lam);
+            let s = sample(&d, 60_000, 7);
+            let fit = fit_weibull_mle(&s);
+            assert!(
+                (fit.shape() - k).abs() < 0.02 * k.max(1.0),
+                "k = {k}: fitted {}",
+                fit.shape()
+            );
+            assert!(
+                (fit.scale() - lam).abs() < 0.05 * lam,
+                "λ = {lam}: fitted {}",
+                fit.scale()
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_mle_on_exponential_data_finds_shape_one() {
+        let d = Exponential::from_mtbf(300.0);
+        let s = sample(&d, 60_000, 3);
+        let fit = fit_weibull_mle(&s);
+        assert!((fit.shape() - 1.0).abs() < 0.02, "shape {}", fit.shape());
+    }
+
+    #[test]
+    fn mle_handles_widely_scaled_samples() {
+        // Seconds-scale availability data spanning 8 orders of magnitude
+        // (the LANL-like spike + heavy tail situation).
+        let spike = Weibull::from_mtbf(0.6, 600.0);
+        let bulk = Weibull::from_mtbf(0.45, 1.5e7);
+        let mut s = sample(&spike, 5_000, 11);
+        s.extend(sample(&bulk, 20_000, 12));
+        let fit = fit_weibull_mle(&s);
+        // A mixture is not a Weibull; the fit must still land on a small
+        // shape (< 0.6) reflecting the heavy tail.
+        assert!(fit.shape() < 0.6, "shape {}", fit.shape());
+        assert!(fit.scale().is_finite() && fit.scale() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_constant_sample() {
+        fit_weibull_mle(&[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        fit_exponential(&[]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Failure inter-arrival time distributions.
+//!
+//! Every checkpointing policy in the paper consumes failures through a small
+//! probabilistic interface:
+//!
+//! * `Psuc(x|τ) = P(X ≥ τ+x | X ≥ τ)` — probability of surviving the next
+//!   `x` seconds given the last failure was `τ` seconds ago (§2.2);
+//! * `E[Tlost(x|τ)]` — expected compute time lost to a failure that strikes
+//!   within the next `x` seconds (§2.3);
+//! * quantiles — the reference ages of the compressed parallel
+//!   `DPNextFailure` state (§3.3);
+//! * sampling — synthetic trace generation (§4.3).
+//!
+//! The primitive everything is derived from is **log-survival**
+//! `ln S(t) = ln P(X ≥ t)`. The paper's platforms have processor MTBFs of
+//! 125–1250 *years* while chunks last minutes, so the failure probability of
+//! a chunk is ~1e−6; computing it as `S(τ) − S(τ+x)` in linear space loses
+//! all precision. Working with `exp`/`expm1` of log-survival differences
+//! keeps every quantity fully conditioned (see [`loss`]).
+
+pub mod empirical;
+pub mod exponential;
+pub mod fitting;
+pub mod gamma_dist;
+pub mod lognormal;
+pub mod loss;
+pub mod min_of;
+pub mod mixture;
+pub mod weibull;
+
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use fitting::{fit_exponential, fit_weibull_mle};
+pub use gamma_dist::GammaDist;
+pub use lognormal::LogNormal;
+pub use min_of::MinOf;
+pub use mixture::Mixture;
+pub use weibull::Weibull;
+
+use rand::RngCore;
+
+/// A failure inter-arrival time distribution.
+///
+/// Implementors provide [`log_survival`](FailureDistribution::log_survival),
+/// [`mean`](FailureDistribution::mean) and
+/// [`sample`](FailureDistribution::sample); everything else has accurate
+/// defaults that may be overridden with closed forms.
+pub trait FailureDistribution: Send + Sync + std::fmt::Debug {
+    /// `ln P(X ≥ t)`. Must be 0 at `t ≤ 0`, non-increasing, and may reach
+    /// `−∞` (a bounded support, e.g. empirical distributions).
+    fn log_survival(&self, t: f64) -> f64;
+
+    /// Mean inter-arrival time `E[X]`.
+    fn mean(&self) -> f64;
+
+    /// Draw one inter-arrival time.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Survival function `P(X ≥ t)`.
+    fn survival(&self, t: f64) -> f64 {
+        self.log_survival(t).exp()
+    }
+
+    /// Cumulative distribution `P(X < t)`.
+    fn cdf(&self, t: f64) -> f64 {
+        -self.log_survival(t).exp_m1()
+    }
+
+    /// Conditional survival `Psuc(x|τ) = P(X ≥ τ+x | X ≥ τ)` (§2.2).
+    ///
+    /// Computed as `exp(ln S(τ+x) − ln S(τ))`, exact even when both
+    /// survivals are within 1e−12 of 1.
+    fn psuc(&self, x: f64, tau: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        let ls_tau = self.log_survival(tau.max(0.0));
+        if ls_tau == f64::NEG_INFINITY {
+            // Conditioning on a zero-probability event: treat as immediate
+            // failure, the conservative choice for a policy.
+            return 0.0;
+        }
+        (self.log_survival(tau.max(0.0) + x) - ls_tau).exp()
+    }
+
+    /// Hazard rate `h(t) = f(t)/S(t) = −d/dt ln S(t)`.
+    ///
+    /// Default is a symmetric finite difference of log-survival; override
+    /// with the closed form where one exists (the Liu policy integrates the
+    /// square root of this).
+    fn hazard(&self, t: f64) -> f64 {
+        let h = (t.abs() * 1e-6).max(1e-9);
+        let lo = (t - h).max(0.0);
+        let hi = t + h;
+        -(self.log_survival(hi) - self.log_survival(lo)) / (hi - lo)
+    }
+
+    /// Inverse survival: smallest `t` with `P(X ≥ t) ≤ s`, for `s ∈ (0, 1]`.
+    ///
+    /// This is the `quantile(X, ·)` of §3.3 used to build the reference ages
+    /// of the compressed parallel state.
+    fn inverse_survival(&self, s: f64) -> f64 {
+        assert!(s > 0.0 && s <= 1.0, "inverse_survival: s ∈ (0,1], got {s}");
+        if s >= 1.0 {
+            return 0.0;
+        }
+        let target = s.ln();
+        // Bracket by doubling from the mean.
+        let mut hi = self.mean().max(1e-9);
+        let mut lo = 0.0;
+        for _ in 0..1100 {
+            if self.log_survival(hi) <= target {
+                break;
+            }
+            lo = hi;
+            hi *= 2.0;
+        }
+        ckpt_math::brent(
+            |t| self.log_survival(t) - target,
+            lo,
+            hi,
+            1e-9 * hi.max(1.0),
+        )
+    }
+
+    /// Expected time computed before an interrupting failure:
+    /// `E[X − τ | τ ≤ X < τ + x]` (the `E[Tlost(x|τ)]` of §2.3).
+    ///
+    /// Default is the well-conditioned quadrature of [`loss::expected_loss`];
+    /// the Exponential overrides it with Lemma 1's closed form.
+    fn expected_loss(&self, x: f64, tau: f64) -> f64 {
+        loss::expected_loss(self, x, tau)
+    }
+
+    /// Clone into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn FailureDistribution>;
+}
+
+impl Clone for Box<dyn FailureDistribution> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// A minimal distribution exercising only the trait defaults:
+    /// uniform on [0, 2].
+    #[derive(Debug, Clone)]
+    struct Uniform2;
+
+    impl FailureDistribution for Uniform2 {
+        fn log_survival(&self, t: f64) -> f64 {
+            if t <= 0.0 {
+                0.0
+            } else if t >= 2.0 {
+                f64::NEG_INFINITY
+            } else {
+                (1.0 - t / 2.0).ln()
+            }
+        }
+        fn mean(&self) -> f64 {
+            1.0
+        }
+        fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+            use rand::Rng;
+            rng.gen_range(0.0..2.0)
+        }
+        fn clone_box(&self) -> Box<dyn FailureDistribution> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn default_cdf_complements_survival() {
+        let d = Uniform2;
+        for &t in &[0.0, 0.5, 1.0, 1.5, 1.99] {
+            assert!((d.cdf(t) + d.survival(t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_psuc_uniform() {
+        let d = Uniform2;
+        // P(X ≥ 1.5 | X ≥ 1) = S(1.5)/S(1) = 0.25/0.5 = 0.5.
+        assert!((d.psuc(0.5, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.psuc(0.0, 1.0), 1.0);
+        // Beyond the support survival is 0.
+        assert_eq!(d.psuc(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn default_hazard_uniform() {
+        let d = Uniform2;
+        // h(t) = f/S = (1/2)/(1 − t/2) → h(1) = 1.
+        assert!((d.hazard(1.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn default_inverse_survival_uniform() {
+        let d = Uniform2;
+        // S(t) = 1 − t/2 → S⁻¹(0.25) = 1.5.
+        assert!((d.inverse_survival(0.25) - 1.5).abs() < 1e-6);
+        assert_eq!(d.inverse_survival(1.0), 0.0);
+    }
+
+    #[test]
+    fn default_expected_loss_uniform() {
+        let d = Uniform2;
+        // X | 0 ≤ X < 2 is Uniform(0,2): E = 1.
+        assert!((d.expected_loss(2.0, 0.0) - 1.0).abs() < 1e-6);
+        // X | 0 ≤ X < 1 is Uniform(0,1): E = 0.5.
+        assert!((d.expected_loss(1.0, 0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boxed_clone_works() {
+        let d: Box<dyn FailureDistribution> = Box::new(Uniform2);
+        let d2 = d.clone();
+        assert_eq!(d2.mean(), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! LogNormal distribution — an extension distribution.
+//!
+//! Schroeder & Gibson's follow-up analyses often fit LogNormal alongside
+//! Weibull; we include it so the policy comparison can be run against a
+//! second heavy-tailed family (the DP policies are distribution-agnostic).
+
+use crate::FailureDistribution;
+use rand::RngCore;
+
+/// LogNormal inter-arrival times: `ln X ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// From log-space mean `μ` and log-space standard deviation `σ > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "μ must be finite");
+        assert!(sigma > 0.0 && sigma.is_finite(), "σ must be positive");
+        Self { mu, sigma }
+    }
+
+    /// From a target mean and a shape-controlling `σ`:
+    /// `μ = ln(mean) − σ²/2`.
+    pub fn from_mtbf(sigma: f64, mtbf: f64) -> Self {
+        assert!(mtbf > 0.0);
+        Self::new(mtbf.ln() - 0.5 * sigma * sigma, sigma)
+    }
+
+    /// Log-space location `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Complementary error function via the Abramowitz–Stegun 7.1.26-style
+/// rational approximation refined with one extra term; |ε| < 1.2e−7,
+/// plenty below the simulation noise floor.
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal survival `P(Z ≥ z)`.
+fn normal_survival(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+impl FailureDistribution for LogNormal {
+    fn log_survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let z = (t.ln() - self.mu) / self.sigma;
+        let s = normal_survival(z);
+        if s <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            s.ln()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng;
+        // Box–Muller.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    fn clone_box(&self) -> Box<dyn FailureDistribution> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_207_050_285).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_792_949_715).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(3.0, 0.8);
+        let med = d.inverse_survival(0.5);
+        assert!((med - 3.0f64.exp()).abs() < 1e-3 * med);
+    }
+
+    #[test]
+    fn from_mtbf_hits_target_mean() {
+        let d = LogNormal::from_mtbf(1.5, 1000.0);
+        assert!((d.mean() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = LogNormal::from_mtbf(1.0, 50.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn survival_monotone() {
+        let d = LogNormal::new(0.0, 1.0);
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let s = d.survival(i as f64 * 0.2);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn heavy_tail_decreasing_conditional_hazard() {
+        // LogNormal hazard eventually decreases: survival of old processors
+        // improves, like Weibull k<1 — the regime where DP policies win.
+        let d = LogNormal::from_mtbf(1.5, 1000.0);
+        let young = d.psuc(100.0, 10.0);
+        let old = d.psuc(100.0, 50_000.0);
+        assert!(old > young, "old {old} young {young}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based invariants every failure distribution must satisfy.
+
+use ckpt_dist::{
+    Empirical, Exponential, FailureDistribution, GammaDist, LogNormal, MinOf, Mixture, Weibull,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All families at a parameter point derived from the inputs.
+fn zoo(mean: f64, shape: f64) -> Vec<Box<dyn FailureDistribution>> {
+    vec![
+        Box::new(Exponential::from_mtbf(mean)),
+        Box::new(Weibull::from_mtbf(shape, mean)),
+        Box::new(GammaDist::from_mtbf(shape, mean)),
+        Box::new(LogNormal::from_mtbf(1.0, mean)),
+        Box::new(Mixture::new(vec![
+            (0.4, Box::new(Exponential::from_mtbf(mean * 0.2)) as Box<dyn FailureDistribution>),
+            (0.6, Box::new(Weibull::from_mtbf(shape, mean * 1.5))),
+        ])),
+        Box::new(MinOf::new(Box::new(Weibull::from_mtbf(shape, mean * 64.0)), 64)),
+        Box::new(Empirical::from_durations(vec![
+            mean * 0.1,
+            mean * 0.5,
+            mean,
+            mean * 1.5,
+            mean * 3.0,
+        ])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn log_survival_contract(
+        mean in 10.0..1e7f64,
+        shape in 0.3..2.0f64,
+        t in 0.0..1e7f64,
+    ) {
+        for d in zoo(mean, shape) {
+            let ls = d.log_survival(t);
+            prop_assert!(ls <= 1e-12, "{d:?}: ln S({t}) = {ls} > 0");
+            prop_assert!(d.log_survival(0.0) == 0.0, "{d:?}: ln S(0) ≠ 0");
+            prop_assert!(d.log_survival(-1.0) == 0.0, "{d:?}: ln S(-1) ≠ 0");
+            // Monotone non-increasing.
+            let ls2 = d.log_survival(t * 1.5 + 1.0);
+            prop_assert!(ls2 <= ls + 1e-12, "{d:?}: survival increased");
+        }
+    }
+
+    #[test]
+    fn cdf_complements_survival(
+        mean in 10.0..1e6f64,
+        shape in 0.3..2.0f64,
+        t in 0.0..1e6f64,
+    ) {
+        for d in zoo(mean, shape) {
+            let s = d.survival(t) + d.cdf(t);
+            prop_assert!((s - 1.0).abs() < 1e-9, "{d:?}: S + F = {s}");
+        }
+    }
+
+    #[test]
+    fn psuc_chains_multiplicatively(
+        mean in 100.0..1e6f64,
+        shape in 0.3..2.0f64,
+        tau in 0.0..1e5f64,
+        x1 in 1.0..1e5f64,
+        x2 in 1.0..1e5f64,
+    ) {
+        // P(survive x1+x2 | τ) = P(x1 | τ) · P(x2 | τ+x1).
+        for d in zoo(mean, shape) {
+            let joint = d.psuc(x1 + x2, tau);
+            let chained = d.psuc(x1, tau) * d.psuc(x2, tau + x1);
+            prop_assert!(
+                (joint - chained).abs() <= 1e-9 * joint.max(1e-12),
+                "{d:?}: chain rule broken ({joint} vs {chained})"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_survival_round_trip(
+        mean in 100.0..1e6f64,
+        shape in 0.3..2.0f64,
+        s in 0.25..0.95f64,
+    ) {
+        // s stays above 1/n for the 5-point Empirical member, whose
+        // smallest achievable survival is 0.2.
+        for d in zoo(mean, shape) {
+            let t = d.inverse_survival(s);
+            prop_assert!(t >= 0.0 && t.is_finite(), "{d:?}: quantile {t}");
+            // Survival at t is ≤ s (right-continuous step for Empirical).
+            prop_assert!(
+                d.survival(t) <= s + 1e-6,
+                "{d:?}: S({t}) = {} > {s}", d.survival(t)
+            );
+        }
+    }
+
+    #[test]
+    fn samples_respect_survival(
+        mean in 100.0..10_000.0f64,
+        shape in 0.4..1.5f64,
+        seed in 0u64..100,
+    ) {
+        // Kolmogorov-style single-point check at the median.
+        for d in zoo(mean, shape) {
+            let med = d.inverse_survival(0.5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 4_000;
+            let above = (0..n).filter(|_| d.sample(&mut rng) >= med).count() as f64 / n as f64;
+            let expect = d.survival(med);
+            prop_assert!(
+                (above - expect).abs() < 0.05,
+                "{d:?}: {above} of samples above the median point, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_non_negative(
+        mean in 100.0..1e6f64,
+        shape in 0.3..2.0f64,
+        t in 1.0..1e6f64,
+    ) {
+        for d in zoo(mean, shape) {
+            if d.survival(t) <= 0.0 {
+                // Past a bounded support the hazard is undefined.
+                continue;
+            }
+            let h = d.hazard(t);
+            prop_assert!(h >= -1e-9, "{d:?}: hazard {h} < 0 at {t}");
+        }
+    }
+
+    #[test]
+    fn expected_loss_consistent_with_mean_at_full_support(
+        mean in 100.0..100_000.0f64,
+        shape in 0.5..1.5f64,
+    ) {
+        // Conditioning on failure within a huge window ≈ unconditional:
+        // E[Tlost] → E[X] for distributions with finite support coverage.
+        let d = Weibull::from_mtbf(shape, mean);
+        let e = d.expected_loss(mean * 200.0, 0.0);
+        prop_assert!(
+            (e - mean).abs() < 0.05 * mean,
+            "loss {e} vs mean {mean}"
+        );
+    }
+}

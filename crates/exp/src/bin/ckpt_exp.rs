@@ -1,0 +1,312 @@
+//! `ckpt-exp` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! ckpt-exp <experiment> [--traces N] [--out results/]
+//!
+//! experiments:
+//!   fig1      platform MTBF vs p, both rejuvenation options
+//!   table2    1 proc, Exponential          table3  1 proc, Weibull k=0.7
+//!   fig2      Petascale Exponential        fig3    Exascale Exponential
+//!   fig4      Petascale Weibull            fig6    Exascale Weibull
+//!   fig5      shape sweep at p=45208       table4  Jaguar Weibull cell
+//!   fig7      LANL cluster 19 log          fig100  both LANL clusters
+//!   fig8      1-proc period sweep (Exp)    fig9    1-proc period sweep (Weibull)
+//!   fig98     makespan profiles, OptExp    fig99   makespan profiles, DPNextFailure
+//!   matrix    one Appendix-B cell: --model ep|amdahl-1e-4|amdahl-1e-6|
+//!             kernel-0.1|kernel-1|kernel-10 --overhead const|prop
+//!             [--mtbf-years Y] [--weibull] [--exa] [--procs P]
+//!   all       every table & figure at the given trace count
+//! ```
+
+use ckpt_exp::experiments as ex;
+use ckpt_exp::output::{csv_series, markdown_table, CSV_HEADER};
+use ckpt_exp::PolicyKind;
+use ckpt_workload::{ParallelismModel, DAY, JAGUAR_PROCS};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    experiment: String,
+    traces: usize,
+    out: Option<PathBuf>,
+    model: String,
+    overhead: String,
+    mtbf_years: f64,
+    weibull: bool,
+    exa: bool,
+    procs: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        traces: 600,
+        out: None,
+        model: "ep".into(),
+        overhead: "const".into(),
+        mtbf_years: 125.0,
+        weibull: false,
+        exa: false,
+        procs: JAGUAR_PROCS,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--traces" => args.traces = it.next().expect("--traces N").parse().expect("number"),
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out DIR"))),
+            "--model" => args.model = it.next().expect("--model M"),
+            "--overhead" => args.overhead = it.next().expect("--overhead O"),
+            "--mtbf-years" => {
+                args.mtbf_years = it.next().expect("--mtbf-years Y").parse().expect("number")
+            }
+            "--weibull" => args.weibull = true,
+            "--exa" => args.exa = true,
+            "--procs" => args.procs = it.next().expect("--procs P").parse().expect("number"),
+            other if args.experiment.is_empty() => args.experiment = other.to_string(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if args.experiment.is_empty() {
+        args.experiment = "help".into();
+    }
+    args
+}
+
+fn emit(out: &Option<PathBuf>, name: &str, content: &str) {
+    println!("{content}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(content.as_bytes()).expect("write output");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn series_output(rows: &[(u64, ckpt_exp::ScenarioResult)]) -> String {
+    let mut csv = String::from(CSV_HEADER);
+    for (p, r) in rows {
+        csv.push_str(&csv_series(*p as f64, r));
+    }
+    csv
+}
+
+fn parallelism_from(label: &str) -> ParallelismModel {
+    match label {
+        "ep" => ParallelismModel::EmbarrassinglyParallel,
+        "amdahl-1e-4" => ParallelismModel::Amdahl { gamma: 1e-4 },
+        "amdahl-1e-6" => ParallelismModel::Amdahl { gamma: 1e-6 },
+        "kernel-0.1" => ParallelismModel::NumericalKernel { gamma: 0.1 },
+        "kernel-1" => ParallelismModel::NumericalKernel { gamma: 1.0 },
+        "kernel-10" => ParallelismModel::NumericalKernel { gamma: 10.0 },
+        other => panic!("unknown parallelism model {other}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let t = args.traces;
+    match args.experiment.as_str() {
+        "fig1" => {
+            let mut s = String::from("p,mtbf_rejuvenate_all_s,mtbf_failed_only_s\n");
+            for (p, all, failed) in ex::fig1() {
+                s.push_str(&format!("{p},{all:.3},{failed:.3}\n"));
+            }
+            emit(&args.out, "fig1.csv", &s);
+            emit(
+                &args.out,
+                "fig1.gp",
+                &ckpt_exp::plot::fig1_script("fig1.csv", "fig1.png"),
+            );
+        }
+        "table2" | "table3" => {
+            let weibull = args.experiment == "table3";
+            let mut md = String::new();
+            for (label, r) in ex::table23(weibull, t) {
+                md.push_str(&format!("## MTBF = {label}\n\n{}\n", markdown_table(&r)));
+            }
+            emit(&args.out, &format!("{}.md", args.experiment), &md);
+        }
+        "fig2" | "fig3" | "fig4" | "fig6" => {
+            let weibull = matches!(args.experiment.as_str(), "fig4" | "fig6");
+            let exa = matches!(args.experiment.as_str(), "fig3" | "fig6");
+            let years = if exa { 1_250.0 } else { args.mtbf_years };
+            let rows = ex::fig_synthetic_scaling(weibull, exa, years, t);
+            let name = &args.experiment;
+            emit(&args.out, &format!("{name}.csv"), &series_output(&rows));
+            emit(
+                &args.out,
+                &format!("{name}.gp"),
+                &ckpt_exp::plot::degradation_figure_script(
+                    &format!("Figure {} — degradation vs processors", &name[3..]),
+                    "number of processors",
+                    &format!("{name}.csv"),
+                    &format!("{name}.png"),
+                    true,
+                ),
+            );
+        }
+        "fig5" => {
+            let shapes: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+            let rows = ex::fig5(&shapes, t);
+            let mut csv = String::from(CSV_HEADER);
+            for (k, r) in &rows {
+                csv.push_str(&csv_series(*k, r));
+            }
+            emit(&args.out, "fig5.csv", &csv);
+        }
+        "table4" => {
+            let r = ex::table4(t);
+            emit(&args.out, "table4.md", &markdown_table(&r));
+        }
+        "fig7" => {
+            let rows = ex::fig_logbased(19, t);
+            emit(&args.out, "fig7.csv", &series_output(&rows));
+            emit(
+                &args.out,
+                "fig7.gp",
+                &ckpt_exp::plot::degradation_figure_script(
+                    "Figure 7 — log-based failures (LANL 19)",
+                    "number of processors",
+                    "fig7.csv",
+                    "fig7.png",
+                    true,
+                ),
+            );
+        }
+        "fig100" => {
+            for cluster in [18u32, 19] {
+                let rows = ex::fig_logbased(cluster, t);
+                emit(
+                    &args.out,
+                    &format!("fig100-cluster{cluster}.csv"),
+                    &series_output(&rows),
+                );
+            }
+        }
+        "fig8" | "fig9" => {
+            let weibull = args.experiment == "fig9";
+            let r = ex::fig89(weibull, DAY, t);
+            emit(&args.out, &format!("{}.md", args.experiment), &markdown_table(&r));
+        }
+        "fig98" | "fig99" => {
+            let kind = if args.experiment == "fig98" {
+                PolicyKind::OptExp
+            } else {
+                PolicyKind::DpNextFailure(Default::default())
+            };
+            let weibull = args.experiment == "fig99";
+            let mut csv = String::from("model,p,mean_makespan_days\n");
+            for (model, series) in ex::fig9899(&kind, weibull, t) {
+                for (p, mk) in series {
+                    csv.push_str(&format!("{model},{p},{:.3}\n", mk / DAY));
+                }
+            }
+            emit(&args.out, &format!("{}.csv", args.experiment), &csv);
+        }
+        "matrix" => {
+            let r = ex::matrix_cell(
+                args.weibull,
+                args.exa,
+                parallelism_from(&args.model),
+                args.overhead == "prop",
+                args.mtbf_years,
+                args.procs,
+                t,
+            );
+            emit(&args.out, "matrix.md", &markdown_table(&r));
+        }
+        "ext-procs" => {
+            // §8: optimal processor count under failures.
+            let procs: Vec<u64> = (9..=15).map(|e| 1u64 << e).collect();
+            let weibull = ckpt_exp::DistSpec::Weibull {
+                shape: 0.7,
+                mtbf: args.mtbf_years * 365.25 * 86_400.0,
+            };
+            let (series, best) = ckpt_exp::extensions::optimal_proc_count(
+                |p| ckpt_exp::Scenario::petascale(weibull.clone(), p, t),
+                &PolicyKind::Young,
+                &procs,
+                t,
+            );
+            let mut csv = String::from("p,mean_makespan_days,argmin\n");
+            for (p, mk) in series {
+                csv.push_str(&format!("{p},{:.3},{}\n", mk / DAY, p == best));
+            }
+            emit(&args.out, "ext-procs.csv", &csv);
+        }
+        "ext-replication" => {
+            let weibull = ckpt_exp::DistSpec::Weibull {
+                shape: 0.7,
+                mtbf: args.mtbf_years * 365.25 * 86_400.0,
+            };
+            let sc = ckpt_exp::Scenario::petascale(weibull, args.procs, t);
+            let row = ckpt_exp::extensions::replication_study(&sc, t);
+            let s = format!(
+                "mode,mean_makespan_days\nsingle,{:.3}\nindependent,{:.3}\nsynchronized,{:.3}\n",
+                row.single / DAY,
+                row.independent / DAY,
+                row.synchronized / DAY
+            );
+            emit(&args.out, "ext-replication.csv", &s);
+        }
+        "ext-energy" => {
+            let weibull = ckpt_exp::DistSpec::Weibull {
+                shape: 0.7,
+                mtbf: args.mtbf_years * 365.25 * 86_400.0,
+            };
+            let sc = ckpt_exp::Scenario::petascale(weibull, args.procs, t);
+            let rows = ckpt_exp::extensions::energy_period_tradeoff(
+                &sc,
+                &ckpt_sim::PowerModel::typical_hpc(),
+                &[0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+                t,
+            );
+            let mut csv = String::from("period_factor,mean_makespan_days,mean_energy_mj\n");
+            for r in rows {
+                csv.push_str(&format!(
+                    "{},{:.3},{:.1}\n",
+                    r.factor,
+                    r.makespan / DAY,
+                    r.energy / 1e6
+                ));
+            }
+            emit(&args.out, "ext-energy.csv", &csv);
+        }
+        "report" => {
+            let cfg = ckpt_exp::report::ReportConfig::quick(t);
+            let md = ckpt_exp::report::generate(&cfg);
+            emit(&args.out, "report.md", &md);
+        }
+        "all" => {
+            run_all(&args);
+        }
+        _ => {
+            eprintln!(
+                "usage: ckpt-exp <fig1|table2|table3|table4|fig2..fig9|fig98|fig99|fig100|matrix|all> \
+                 [--traces N] [--out DIR] [matrix flags]"
+            );
+        }
+    }
+}
+
+fn run_all(args: &Args) {
+    for exp in [
+        "fig1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "table4", "fig7",
+        "fig100", "fig8", "fig9", "fig98", "fig99",
+    ] {
+        eprintln!("=== {exp} (traces = {}) ===", args.traces);
+        let status = std::process::Command::new(std::env::current_exe().expect("self"))
+            .arg(exp)
+            .args(["--traces", &args.traces.to_string()])
+            .args(
+                args.out
+                    .as_ref()
+                    .map(|o| vec!["--out".to_string(), o.display().to_string()])
+                    .unwrap_or_default(),
+            )
+            .status()
+            .expect("spawn self");
+        assert!(status.success(), "{exp} failed");
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! * [`scenario`] — a fully-specified experimental cell (failure model,
+//!   platform size, job/overhead models, trace count) and its trace
+//!   generation (prefix-stable across platform sizes, §4.3);
+//! * [`policies_spec`] — declarative policy lists instantiated per
+//!   scenario (so e.g. `OptExp` picks up each cell's `p` and `C(p)`);
+//! * [`runner`] — rayon fan-out of every `(trace, policy)` pair, the
+//!   `PeriodLB` search and the omniscient `LowerBound`, and the §4.1
+//!   *average makespan degradation* metric;
+//! * [`experiments`] — one entry point per paper artefact (`table2`,
+//!   `fig4`, …) returning typed rows;
+//! * [`output`] — markdown and CSV emitters matching the paper's
+//!   presentation.
+//!
+//! The `ckpt-exp` binary exposes all of it from the command line:
+//!
+//! ```text
+//! ckpt-exp table2 --traces 600
+//! ckpt-exp fig4 --traces 100
+//! ckpt-exp matrix --dist weibull --overhead prop --model amdahl-1e-4
+//! ```
+
+pub mod experiments;
+pub mod extensions;
+pub mod output;
+pub mod plot;
+pub mod policies_spec;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use policies_spec::PolicyKind;
+pub use runner::{run_scenario, PolicyOutcome, RunnerOptions, ScenarioResult};
+pub use scenario::{DistSpec, Scenario};

@@ -1,0 +1,147 @@
+//! Markdown / CSV emitters mirroring the paper's presentation.
+
+use crate::runner::ScenarioResult;
+
+/// Render one scenario as a markdown table in the format of Tables 2–4
+/// ("Degradation from best": avg and std per heuristic).
+pub fn markdown_table(result: &ScenarioResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### {} — p = {}, {} traces\n\n",
+        result.label, result.procs, result.traces
+    ));
+    out.push_str("| Heuristic | avg degradation | std | mean makespan (h) | mean failures |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for o in &result.outcomes {
+        match (o.avg_degradation, o.std_degradation) {
+            (Some(avg), Some(std)) => {
+                let mk = o
+                    .mean_makespan
+                    .map(|m| format!("{:.2}", m / 3_600.0))
+                    .unwrap_or_else(|| "—".into());
+                let mf = o
+                    .mean_failures
+                    .map(|f| format!("{f:.1}"))
+                    .unwrap_or_else(|| "—".into());
+                out.push_str(&format!(
+                    "| {} | {avg:.5} | {std:.5} | {mk} | {mf} |\n",
+                    o.name
+                ));
+            }
+            _ => {
+                let why = o.error.as_deref().unwrap_or("n/a");
+                out.push_str(&format!("| {} | — | — | — | — ({why}) |\n", o.name));
+            }
+        }
+    }
+    out
+}
+
+/// One CSV line per `(scenario, policy)` for a figure series:
+/// `x,policy,avg_degradation,std`.
+pub fn csv_series(x: f64, result: &ScenarioResult) -> String {
+    let mut out = String::new();
+    for o in &result.outcomes {
+        let (avg, std) = match (o.avg_degradation, o.std_degradation) {
+            (Some(a), Some(s)) => (format!("{a:.6}"), format!("{s:.6}")),
+            _ => ("".into(), "".into()),
+        };
+        out.push_str(&format!("{x},{},{avg},{std}\n", o.name));
+    }
+    out
+}
+
+/// CSV header matching [`csv_series`].
+pub const CSV_HEADER: &str = "x,policy,avg_degradation,std_degradation\n";
+
+/// Terminal rendering of a figure series: one line per `(x, policy)` with
+/// a proportional bar, mirroring the paper's degradation plots closely
+/// enough to eyeball who wins where.
+pub fn ascii_figure(title: &str, rows: &[(f64, &ScenarioResult)]) -> String {
+    let mut out = format!("{title}\n");
+    // Global scale across the figure.
+    let mut max_d = 1.0f64;
+    for (_, r) in rows {
+        for o in &r.outcomes {
+            if let Some(d) = o.avg_degradation {
+                max_d = max_d.max(d);
+            }
+        }
+    }
+    let width = 46usize;
+    for (x, r) in rows {
+        out.push_str(&format!("x = {x}\n"));
+        for o in &r.outcomes {
+            match o.avg_degradation {
+                Some(d) => {
+                    let frac = ((d - 1.0) / (max_d - 1.0).max(1e-9)).clamp(0.0, 1.0);
+                    let bar = "#".repeat((frac * width as f64).round() as usize);
+                    out.push_str(&format!("  {:<14} {d:8.4} |{bar}\n", o.name));
+                }
+                None => out.push_str(&format!("  {:<14}      n/a |\n", o.name)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PolicyOutcome;
+
+    fn result() -> ScenarioResult {
+        ScenarioResult {
+            label: "demo".into(),
+            procs: 4,
+            traces: 10,
+            outcomes: vec![
+                PolicyOutcome {
+                    name: "Young".into(),
+                    avg_degradation: Some(1.0123),
+                    std_degradation: Some(0.01),
+                    mean_makespan: Some(7_200.0),
+                    mean_failures: Some(3.4),
+                    max_failures: Some(7),
+                    chunk_range: Some((100.0, 200.0)),
+                    error: None,
+                },
+                PolicyOutcome {
+                    name: "Liu".into(),
+                    avg_degradation: None,
+                    std_degradation: None,
+                    mean_makespan: None,
+                    mean_failures: None,
+                    max_failures: None,
+                    chunk_range: None,
+                    error: Some("interval < C".into()),
+                },
+            ],
+            period_lb_factor: None,
+        }
+    }
+
+    #[test]
+    fn markdown_contains_rows_and_errors() {
+        let md = markdown_table(&result());
+        assert!(md.contains("| Young | 1.01230 | 0.01000 | 2.00 | 3.4 |"));
+        assert!(md.contains("interval < C"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_policy() {
+        let csv = csv_series(1024.0, &result());
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("1024,Young,1.012300,0.010000"));
+    }
+
+    #[test]
+    fn ascii_figure_renders_bars_and_gaps() {
+        let r = result();
+        let fig = ascii_figure("demo figure", &[(1024.0, &r)]);
+        assert!(fig.contains("demo figure"));
+        assert!(fig.contains("Young"));
+        assert!(fig.contains("1.0123"));
+        assert!(fig.contains("n/a"), "missing policies render as gaps");
+    }
+}

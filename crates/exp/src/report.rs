@@ -1,0 +1,184 @@
+//! Whole-study report generator.
+//!
+//! Assembles every experiment into one self-contained markdown document —
+//! the shape of the paper's evaluation section — at a configurable trace
+//! count. Used by `ckpt-exp report` and by EXPERIMENTS.md's recorded runs.
+
+use crate::experiments as ex;
+use crate::output::{markdown_table, CSV_HEADER};
+use crate::policies_spec::PolicyKind;
+use crate::runner::ScenarioResult;
+use std::fmt::Write as _;
+
+/// Which experiments to include.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// Traces per scenario.
+    pub traces: usize,
+    /// Include the single-processor tables (2 & 3).
+    pub tables: bool,
+    /// Include the Petascale scaling figures (2 & 4) and Table 4.
+    pub petascale: bool,
+    /// Include the Exascale figures (3 & 6) — the slowest section.
+    pub exascale: bool,
+    /// Include the Weibull shape sweep (Figure 5).
+    pub shape_sweep: bool,
+    /// Include the log-based figures (7 & 100).
+    pub logbased: bool,
+}
+
+impl ReportConfig {
+    /// A quick configuration that exercises every section at small scale.
+    pub fn quick(traces: usize) -> Self {
+        Self {
+            traces,
+            tables: true,
+            petascale: true,
+            exascale: false,
+            shape_sweep: true,
+            logbased: true,
+        }
+    }
+}
+
+/// Extract the headline comparison from a scenario: DPNextFailure's
+/// degradation vs the best previously-published heuristic.
+fn headline(r: &ScenarioResult) -> Option<String> {
+    let dp = r.get("DPNextFailure")?.avg_degradation?;
+    let prior = ["Young", "DalyLow", "DalyHigh", "OptExp", "Bouguerra", "Liu"]
+        .iter()
+        .filter_map(|n| r.get(n).and_then(|o| o.avg_degradation))
+        .fold(f64::INFINITY, f64::min);
+    if !prior.is_finite() {
+        return None;
+    }
+    Some(if dp <= prior {
+        format!(
+            "DPNextFailure ({dp:.4}) ≤ best prior heuristic ({prior:.4}) — the paper's headline holds."
+        )
+    } else {
+        format!("DPNextFailure ({dp:.4}) vs best prior heuristic ({prior:.4}) on this sample.")
+    })
+}
+
+/// Generate the report.
+pub fn generate(config: &ReportConfig) -> String {
+    let t = config.traces;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Checkpointing strategies — reproduction report\n\n\
+         Traces per scenario: {t}. Degradation values are §4.1 averages of\n\
+         per-trace `makespan / best-heuristic-makespan`.\n"
+    );
+
+    // Figure 1 is analytic and always cheap.
+    let _ = writeln!(out, "## Figure 1 — rejuvenation options\n");
+    let _ = writeln!(out, "| p | MTBF rejuvenate-all (h) | MTBF failed-only (h) |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (p, all, failed) in ex::fig1().into_iter().step_by(3) {
+        let _ = writeln!(out, "| {p} | {:.2} | {:.2} |", all / 3_600.0, failed / 3_600.0);
+    }
+    let _ = writeln!(out);
+
+    if config.tables {
+        for (weibull, name) in [(false, "Table 2 (Exponential)"), (true, "Table 3 (Weibull k=0.7)")] {
+            let _ = writeln!(out, "## {name}\n");
+            for (label, r) in ex::table23(weibull, t) {
+                let _ = writeln!(out, "### MTBF = {label}\n\n{}", markdown_table(&r));
+                if let Some(h) = headline(&r) {
+                    let _ = writeln!(out, "{h}\n");
+                }
+            }
+        }
+    }
+
+    if config.petascale {
+        for (weibull, name) in [(false, "Figure 2"), (true, "Figure 4")] {
+            let _ = writeln!(out, "## {name} — Petascale scaling\n\n```\n{CSV_HEADER}");
+            for (p, r) in ex::fig_synthetic_scaling(weibull, false, 125.0, t) {
+                let _ = write!(out, "{}", crate::output::csv_series(p as f64, &r));
+            }
+            let _ = writeln!(out, "```\n");
+        }
+        let _ = writeln!(out, "## Table 4 — Jaguar cell\n");
+        let r = ex::table4(t);
+        let _ = writeln!(out, "{}", markdown_table(&r));
+        if let Some(h) = headline(&r) {
+            let _ = writeln!(out, "{h}\n");
+        }
+    }
+
+    if config.shape_sweep {
+        let _ = writeln!(out, "## Figure 5 — shape sweep at p = 45,208\n\n```\n{CSV_HEADER}");
+        let shapes = [0.3, 0.5, 0.7, 0.9];
+        for (k, r) in ex::fig5(&shapes, t) {
+            let _ = write!(out, "{}", crate::output::csv_series(k, &r));
+        }
+        let _ = writeln!(out, "```\n");
+    }
+
+    if config.exascale {
+        for (weibull, name) in [(false, "Figure 3"), (true, "Figure 6")] {
+            let _ = writeln!(out, "## {name} — Exascale scaling\n\n```\n{CSV_HEADER}");
+            for (p, r) in ex::fig_synthetic_scaling(weibull, true, 1_250.0, t) {
+                let _ = write!(out, "{}", crate::output::csv_series(p as f64, &r));
+            }
+            let _ = writeln!(out, "```\n");
+        }
+    }
+
+    if config.logbased {
+        for cluster in [19u32, 18] {
+            let _ = writeln!(
+                out,
+                "## Figure {} — log-based (synthetic LANL cluster {cluster})\n\n```\n{CSV_HEADER}",
+                if cluster == 19 { "7" } else { "100" }
+            );
+            for (p, r) in ex::fig_logbased(cluster, t) {
+                let _ = write!(out, "{}", crate::output::csv_series(p as f64, &r));
+            }
+            let _ = writeln!(out, "```\n");
+        }
+    }
+
+    let _ = writeln!(out, "## Figures 98/99 — makespan by application profile\n");
+    for (kind, weibull, name) in [
+        (PolicyKind::OptExp, false, "Figure 98 (OptExp, Exponential)"),
+        (
+            PolicyKind::DpNextFailure(Default::default()),
+            true,
+            "Figure 99 (DPNextFailure, Weibull)",
+        ),
+    ] {
+        let _ = writeln!(out, "### {name}\n\n```\nmodel,p,mean_makespan_days");
+        for (model, series) in ex::fig9899(&kind, weibull, t.min(3)) {
+            for (p, mk) in series {
+                let _ = writeln!(out, "{model},{p},{:.3}", mk / 86_400.0);
+            }
+        }
+        let _ = writeln!(out, "```\n");
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_contains_all_sections() {
+        let cfg = ReportConfig {
+            traces: 1,
+            tables: false,
+            petascale: false,
+            exascale: false,
+            shape_sweep: false,
+            logbased: false,
+        };
+        let r = generate(&cfg);
+        assert!(r.contains("Figure 1"));
+        assert!(r.contains("Figures 98/99"));
+    }
+}

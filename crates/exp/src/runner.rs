@@ -1,0 +1,386 @@
+//! Scenario runner: rayon fan-out, PeriodLB search, LowerBound, and the
+//! §4.1 average-makespan-degradation metric.
+
+use crate::policies_spec::PolicyKind;
+use crate::scenario::Scenario;
+use ckpt_math::Summary;
+use ckpt_policies::Policy;
+use ckpt_sim::{lower_bound_makespan, SimOptions};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Runner knobs.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Include the omniscient `LowerBound` row.
+    pub lower_bound: bool,
+    /// Include the `PeriodLB` numeric search; the value is the period
+    /// factor grid applied to the OptExp period.
+    pub period_lb: Option<Vec<f64>>,
+    /// Engine safety options.
+    pub sim: SimOptions,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        Self {
+            lower_bound: true,
+            period_lb: Some(default_period_grid()),
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// The default `PeriodLB` candidate grid: factors `2^{j/8}` for
+/// `j ∈ [−24, 24]` — a coarser but equally wide net than the paper's
+/// `(1 ± 0.05i, 1.1^j)` grid (which [`paper_period_grid`] reproduces).
+pub fn default_period_grid() -> Vec<f64> {
+    (-24..=24).map(|j| 2f64.powf(j as f64 / 8.0)).collect()
+}
+
+/// The paper's §4.1 grid: `×/÷ (1 + 0.05·i)` for `i ∈ 1..=180` and
+/// `×/÷ 1.1^j` for `j ∈ 1..=60` (481 candidates with the identity).
+pub fn paper_period_grid() -> Vec<f64> {
+    let mut g = vec![1.0];
+    for i in 1..=180 {
+        let f = 1.0 + 0.05 * i as f64;
+        g.push(f);
+        g.push(1.0 / f);
+    }
+    for j in 1..=60 {
+        let f = 1.1f64.powi(j);
+        g.push(f);
+        g.push(1.0 / f);
+    }
+    g
+}
+
+/// Result row for one policy in one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyOutcome {
+    /// Display name.
+    pub name: String,
+    /// Average degradation from best (§4.1) — `None` when the policy could
+    /// not run (Liu's nonsensical placements).
+    pub avg_degradation: Option<f64>,
+    /// Standard deviation of the degradation.
+    pub std_degradation: Option<f64>,
+    /// Mean makespan, seconds.
+    pub mean_makespan: Option<f64>,
+    /// Mean number of failures per run.
+    pub mean_failures: Option<f64>,
+    /// Maximum failures over all runs (spare-processor sizing, §5.2.2).
+    pub max_failures: Option<u64>,
+    /// Smallest / largest chunk attempted across all runs.
+    pub chunk_range: Option<(f64, f64)>,
+    /// Why the policy is absent, when it is.
+    pub error: Option<String>,
+}
+
+/// All rows of one scenario plus metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// Processor count.
+    pub procs: u64,
+    /// Trace count actually simulated.
+    pub traces: usize,
+    /// Policy rows, `LowerBound` first when present.
+    pub outcomes: Vec<PolicyOutcome>,
+    /// The `PeriodLB` winning factor (over the OptExp period), if searched.
+    pub period_lb_factor: Option<f64>,
+}
+
+impl ScenarioResult {
+    /// Look up a row by name.
+    pub fn get(&self, name: &str) -> Option<&PolicyOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+}
+
+/// Run `kinds` (plus optional LowerBound / PeriodLB) on a scenario.
+///
+/// Degradation from best (§4.1): for each trace `i`,
+/// `v(i,j) = res(i,j) / min_{j' ≠ LowerBound} res(i,j')`, averaged over
+/// traces. `PeriodLB` participates in the minimum; `LowerBound` does not.
+pub fn run_scenario(
+    scenario: &Scenario,
+    kinds: &[PolicyKind],
+    options: &RunnerOptions,
+) -> ScenarioResult {
+    let built = scenario.dist.build();
+    let spec = scenario.job_spec();
+
+    // Instantiate policies once; sessions are per-trace.
+    let mut policies: Vec<(String, Result<Box<dyn Policy>, String>)> = kinds
+        .iter()
+        .map(|k| (k.name(), k.build(scenario, &built)))
+        .collect();
+
+    // PeriodLB candidates share OptExp's base period.
+    let period_candidates: Vec<Box<dyn Policy>> = match &options.period_lb {
+        Some(grid) => {
+            let base = ckpt_policies::OptExp::from_mtbf(&spec, built.proc_mtbf);
+            grid.iter()
+                .map(|&f| Box::new(base.as_fixed_period().scaled(f)) as Box<dyn Policy>)
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    struct TraceRow {
+        makespans: Vec<Option<(f64, u64, f64, f64)>>, // (makespan, failures, cmin, cmax)
+        candidates: Vec<f64>,
+        lower_bound: Option<f64>,
+    }
+
+    let rows: Vec<TraceRow> = (0..scenario.traces)
+        .into_par_iter()
+        .map(|idx| {
+            let traces = scenario.generate_traces(&built, idx);
+            let events = traces.platform_events();
+            let ppu = traces.topology.procs_per_unit() as u32;
+            let mut makespans = Vec::with_capacity(policies.len());
+            for (_, built_policy) in &policies {
+                match built_policy {
+                    Ok(p) => {
+                        let mut session = p.session();
+                        let st = ckpt_sim::simulate(
+                            &spec,
+                            &mut *session,
+                            &events,
+                            ppu,
+                            traces.start_time,
+                            traces.horizon,
+                            options.sim,
+                        );
+                        makespans.push(Some((st.makespan, st.failures, st.chunk_min, st.chunk_max)));
+                    }
+                    Err(_) => makespans.push(None),
+                }
+            }
+            let candidates = period_candidates
+                .iter()
+                .map(|p| {
+                    let mut session = p.session();
+                    ckpt_sim::simulate(
+                        &spec,
+                        &mut *session,
+                        &events,
+                        ppu,
+                        traces.start_time,
+                        traces.horizon,
+                        options.sim,
+                    )
+                    .makespan
+                })
+                .collect();
+            let lower_bound = options
+                .lower_bound
+                .then(|| lower_bound_makespan(&spec, &traces).makespan);
+            TraceRow { makespans, candidates, lower_bound }
+        })
+        .collect();
+
+    // PeriodLB: best average candidate.
+    let (period_lb_col, period_lb_factor) = if period_candidates.is_empty() {
+        (None, None)
+    } else {
+        let n = period_candidates.len();
+        let mut means = vec![0.0f64; n];
+        for row in &rows {
+            for (m, &v) in means.iter_mut().zip(&row.candidates) {
+                *m += v;
+            }
+        }
+        let best = (0..n)
+            .min_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("no NaN"))
+            .expect("non-empty");
+        let col: Vec<f64> = rows.iter().map(|r| r.candidates[best]).collect();
+        let factor = options.period_lb.as_ref().expect("grid present")[best];
+        (Some(col), Some(factor))
+    };
+
+    // Per-trace best over heuristics (incl. PeriodLB, excl. LowerBound).
+    let trace_best: Vec<f64> = (0..scenario.traces)
+        .map(|i| {
+            let mut best = f64::INFINITY;
+            for m in rows[i].makespans.iter().flatten() {
+                best = best.min(m.0);
+            }
+            if let Some(col) = &period_lb_col {
+                best = best.min(col[i]);
+            }
+            assert!(best.is_finite(), "no policy produced a makespan for trace {i}");
+            best
+        })
+        .collect();
+
+    let mut outcomes = Vec::new();
+    if options.lower_bound {
+        let degr: Vec<f64> = rows
+            .iter()
+            .zip(&trace_best)
+            .map(|(r, &b)| r.lower_bound.expect("lower bound enabled") / b)
+            .collect();
+        let mks: Vec<f64> = rows.iter().map(|r| r.lower_bound.expect("enabled")).collect();
+        let s = Summary::from_samples(&degr);
+        outcomes.push(PolicyOutcome {
+            name: "LowerBound".into(),
+            avg_degradation: Some(s.mean()),
+            std_degradation: Some(s.std_dev()),
+            mean_makespan: Some(Summary::from_samples(&mks).mean()),
+            mean_failures: None,
+            max_failures: None,
+            chunk_range: None,
+            error: None,
+        });
+    }
+    if let (Some(col), Some(factor)) = (&period_lb_col, period_lb_factor) {
+        let degr: Vec<f64> = col.iter().zip(&trace_best).map(|(&m, &b)| m / b).collect();
+        let s = Summary::from_samples(&degr);
+        outcomes.push(PolicyOutcome {
+            name: "PeriodLB".into(),
+            avg_degradation: Some(s.mean()),
+            std_degradation: Some(s.std_dev()),
+            mean_makespan: Some(Summary::from_samples(col).mean()),
+            mean_failures: None,
+            max_failures: None,
+            chunk_range: None,
+            error: None,
+        });
+        let _ = factor;
+    }
+    for (j, (name, built_policy)) in policies.iter_mut().enumerate() {
+        match built_policy {
+            Ok(_) => {
+                let per_trace: Vec<(f64, u64, f64, f64)> =
+                    rows.iter().map(|r| r.makespans[j].expect("ran")).collect();
+                let degr: Vec<f64> = per_trace
+                    .iter()
+                    .zip(&trace_best)
+                    .map(|(m, &b)| m.0 / b)
+                    .collect();
+                let s = Summary::from_samples(&degr);
+                let mks: Vec<f64> = per_trace.iter().map(|m| m.0).collect();
+                let fails: Vec<f64> = per_trace.iter().map(|m| m.1 as f64).collect();
+                let cmin = per_trace.iter().map(|m| m.2).fold(f64::INFINITY, f64::min);
+                let cmax = per_trace.iter().map(|m| m.3).fold(0.0f64, f64::max);
+                outcomes.push(PolicyOutcome {
+                    name: name.clone(),
+                    avg_degradation: Some(s.mean()),
+                    std_degradation: Some(s.std_dev()),
+                    mean_makespan: Some(Summary::from_samples(&mks).mean()),
+                    mean_failures: Some(Summary::from_samples(&fails).mean()),
+                    max_failures: per_trace.iter().map(|m| m.1).max(),
+                    chunk_range: Some((cmin, cmax)),
+                    error: None,
+                });
+            }
+            Err(e) => outcomes.push(PolicyOutcome {
+                name: name.clone(),
+                avg_degradation: None,
+                std_degradation: None,
+                mean_makespan: None,
+                mean_failures: None,
+                max_failures: None,
+                chunk_range: None,
+                error: Some(e.clone()),
+            }),
+        }
+    }
+
+    ScenarioResult {
+        label: scenario.label.clone(),
+        procs: scenario.procs,
+        traces: scenario.traces,
+        outcomes,
+        period_lb_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DistSpec;
+
+    fn tiny_scenario() -> Scenario {
+        // Small, fast cell: sequential job, hour-scale MTBF.
+        let mut s = Scenario::single_processor(
+            DistSpec::Exponential { mtbf: 6.0 * 3_600.0 },
+            12,
+        );
+        s.total_work = 12.0 * 3_600.0;
+        s
+    }
+
+    fn fast_options() -> RunnerOptions {
+        RunnerOptions {
+            lower_bound: true,
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            sim: SimOptions::default(),
+        }
+    }
+
+    #[test]
+    fn degradation_structure() {
+        let sc = tiny_scenario();
+        let kinds = [PolicyKind::Young, PolicyKind::OptExp];
+        let r = run_scenario(&sc, &kinds, &fast_options());
+        assert_eq!(r.traces, 12);
+        // LowerBound + PeriodLB + 2 heuristics.
+        assert_eq!(r.outcomes.len(), 4);
+        let lb = r.get("LowerBound").expect("lower bound row");
+        // LowerBound is ≤ best heuristic on every trace → avg ≤ 1.
+        assert!(lb.avg_degradation.expect("ran") <= 1.0 + 1e-12);
+        for name in ["Young", "OptExp", "PeriodLB"] {
+            let o = r.get(name).expect(name);
+            assert!(o.avg_degradation.expect("ran") >= 1.0 - 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn period_lb_at_least_as_good_as_optexp_on_average() {
+        let sc = tiny_scenario();
+        // Grid contains factor 1.0 = OptExp itself, so PeriodLB's mean
+        // makespan can never exceed OptExp's.
+        let r = run_scenario(&sc, &[PolicyKind::OptExp], &fast_options());
+        let plb = r.get("PeriodLB").expect("row").mean_makespan.expect("ran");
+        let opt = r.get("OptExp").expect("row").mean_makespan.expect("ran");
+        assert!(plb <= opt + 1e-6, "PeriodLB {plb} > OptExp {opt}");
+    }
+
+    #[test]
+    fn failed_policy_reports_error_row() {
+        // Liu's nonsensical-interval case: large platform, small shape.
+        let year = 365.25 * 86_400.0;
+        let mut sc = Scenario::petascale(
+            DistSpec::Weibull { shape: 0.3, mtbf: 125.0 * year },
+            4_096,
+            3,
+        );
+        sc.label = "tiny-weibull".into();
+        let r = run_scenario(
+            &sc,
+            &[PolicyKind::Liu, PolicyKind::Young],
+            &RunnerOptions { period_lb: None, ..fast_options() },
+        );
+        let liu = r.get("Liu").expect("row");
+        assert!(liu.error.is_some());
+        assert!(liu.avg_degradation.is_none());
+        assert!(r.get("Young").expect("row").avg_degradation.is_some());
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let sc = tiny_scenario();
+        let kinds = [PolicyKind::Young];
+        let a = run_scenario(&sc, &kinds, &fast_options());
+        let b = run_scenario(&sc, &kinds, &fast_options());
+        assert_eq!(
+            a.get("Young").expect("row").mean_makespan,
+            b.get("Young").expect("row").mean_makespan
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Renewal-process analytics for failure streams.
+//!
+//! The paper leans on renewal arguments in several places — the
+//! failed-only platform MTBF `(D + μ)/p` (§3.1), spare-processor sizing
+//! from failure counts (§5.2.2), the elementary-renewal justification of
+//! the degradation metric's stability. This module makes those arguments
+//! executable:
+//!
+//! * [`expected_failures`] — expected number of renewals of a single unit
+//!   in a window, by numerically solving the renewal equation
+//!   `m(t) = F(t) + ∫₀ᵗ m(t−s) dF(s)` on a grid;
+//! * [`platform_failure_rate`] — superposed steady-state rate of `p` iid
+//!   renewal processes;
+//! * [`spares_for_quantile`] — how many spare processors cover the
+//!   q-quantile of the failure count in a window (Poisson tail bound via
+//!   the superposition limit).
+
+use ckpt_dist::FailureDistribution;
+
+/// Renewal function `m(t)`: expected failures of one unit in `[0, t]`,
+/// solved on an `n`-point grid by the discretised renewal equation.
+pub fn expected_failures(dist: &dyn FailureDistribution, t: f64, n: usize) -> f64 {
+    assert!(t >= 0.0);
+    assert!(n >= 2, "need at least 2 grid points");
+    if t == 0.0 {
+        return 0.0;
+    }
+    let h = t / n as f64;
+    // F on the grid.
+    let f: Vec<f64> = (0..=n).map(|i| dist.cdf(i as f64 * h)).collect();
+    // m(0) = 0; m(tᵢ) = F(tᵢ) + Σⱼ ½(m(tᵢ₋ⱼ) + m(tᵢ₋ⱼ₊₁))·ΔFⱼ — the
+    // implicit-trapezoid (Riemann–Stieltjes midpoint) scheme. The j = 1
+    // term contains m(tᵢ) itself; solve for it algebraically.
+    let mut m = vec![0.0f64; n + 1];
+    for i in 1..=n {
+        let df1 = f[1] - f[0];
+        let mut rhs = f[i] + 0.5 * m[i - 1] * df1;
+        for j in 2..=i {
+            let df = f[j] - f[j - 1];
+            rhs += 0.5 * (m[i - j] + m[i - j + 1]) * df;
+        }
+        let denom = 1.0 - 0.5 * df1;
+        m[i] = if denom > 1e-12 { rhs / denom } else { rhs };
+    }
+    m[n]
+}
+
+/// Steady-state platform failure rate of `p` iid units with downtime `d`
+/// per failure: `p / (μ + d)` failures per second.
+pub fn platform_failure_rate(mean: f64, downtime: f64, p: u64) -> f64 {
+    assert!(mean > 0.0 && downtime >= 0.0 && p >= 1);
+    p as f64 / (mean + downtime)
+}
+
+/// Spare processors needed so that, with probability at least `q`, the
+/// failures arriving in a window `w` do not exceed the spare pool
+/// (superposition → Poisson approximation; exact Poisson tail, no
+/// normal approximation).
+pub fn spares_for_quantile(mean: f64, downtime: f64, p: u64, window: f64, q: f64) -> u64 {
+    assert!((0.0..1.0).contains(&q), "q ∈ [0, 1)");
+    assert!(window >= 0.0);
+    let lambda = platform_failure_rate(mean, downtime, p) * window;
+    // Smallest k with P(N ≤ k) ≥ q, N ~ Poisson(λ).
+    let mut cumulative = (-lambda).exp();
+    let mut term = cumulative;
+    let mut k = 0u64;
+    while cumulative < q && k < 100_000_000 {
+        k += 1;
+        term *= lambda / k as f64;
+        cumulative += term;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dist::{Exponential, Weibull};
+
+    #[test]
+    fn exponential_renewal_function_is_linear() {
+        // Poisson process: m(t) = λt exactly.
+        let d = Exponential::new(0.01);
+        for &t in &[50.0, 200.0, 1_000.0] {
+            let m = expected_failures(&d, t, 400);
+            assert!(
+                (m - 0.01 * t).abs() < 0.02 * (0.01 * t).max(0.05),
+                "t = {t}: m = {m}, expected {}",
+                0.01 * t
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_sub_one_renews_faster_early() {
+        // k < 1: decreasing hazard front-loads failures, so m(t) exceeds
+        // t/μ for small t.
+        let d = Weibull::from_mtbf(0.5, 1_000.0);
+        let m = expected_failures(&d, 100.0, 400);
+        assert!(m > 100.0 / 1_000.0, "m(100) = {m}");
+    }
+
+    #[test]
+    fn renewal_function_is_monotone() {
+        let d = Weibull::from_mtbf(0.7, 500.0);
+        let mut prev = 0.0;
+        for i in 1..=8 {
+            let m = expected_failures(&d, i as f64 * 200.0, 300);
+            assert!(m >= prev - 1e-9);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn platform_rate_matches_paper_jaguar_figure() {
+        // §4.3: 45,208 processors at 125-year MTBF ≈ 1 failure/day.
+        let year = 365.25 * 86_400.0;
+        let rate = platform_failure_rate(125.0 * year, 60.0, 45_208);
+        let per_day = rate * 86_400.0;
+        assert!((0.9..1.1).contains(&per_day), "failures/day {per_day}");
+    }
+
+    #[test]
+    fn spares_cover_the_reported_failure_counts() {
+        // §5.2.2: a 10.5-day Jaguar run sees ~38 failures on average, max
+        // 66 over 600 runs. The 99.99 % Poisson quantile should land in
+        // the tens, comfortably covering that maximum.
+        let year = 365.25 * 86_400.0;
+        let window = 10.5 * 86_400.0;
+        let spares = spares_for_quantile(125.0 * year, 60.0, 45_208, window, 0.9999);
+        assert!(
+            (20..=80).contains(&spares),
+            "99.99% spare quantile {spares}"
+        );
+    }
+
+    #[test]
+    fn zero_window_needs_no_spares() {
+        assert_eq!(spares_for_quantile(1_000.0, 10.0, 100, 0.0, 0.999), 0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let a = spares_for_quantile(1_000.0, 0.0, 100, 100.0, 0.5);
+        let b = spares_for_quantile(1_000.0, 0.0, 100, 100.0, 0.999);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,282 @@
+//! Failure traces: per-unit sampled failure dates and the merged platform
+//! event stream (§4.3 "Scenario generation").
+//!
+//! A *unit* is the granularity at which failures strike — a processor for
+//! synthetic distributions, a 4-processor node for the log-based setups.
+//! Each unit's trace is the sequence of absolute failure dates obtained by
+//! iid sampling of inter-arrival times from time 0 until the horizon.
+//!
+//! Under the failed-only rejuvenation model a unit's lifetime restarts
+//! exactly at its own failures, so the whole trace can be pre-sampled —
+//! failure dates do not depend on what the job does. (Downtime is *not*
+//! modelled as delaying subsequent failures: the paper assumes failures
+//! cannot happen during a downtime, which the simulator enforces by
+//! construction when it consumes these events.)
+
+use crate::topology::Topology;
+use ckpt_math::SeedSequence;
+use ckpt_dist::FailureDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Failure dates of one unit, strictly increasing, within `[0, horizon)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailureTrace {
+    /// Absolute failure dates in seconds from the trace origin.
+    pub failures: Vec<f64>,
+}
+
+impl FailureTrace {
+    /// Sample a trace by accumulating iid inter-arrival times until the
+    /// horizon is passed.
+    pub fn sample(dist: &dyn FailureDistribution, horizon: f64, seed: u64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failures = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += dist.sample(&mut rng);
+            if !(t < horizon) {
+                break;
+            }
+            failures.push(t);
+        }
+        Self { failures }
+    }
+
+    /// Date of the last failure strictly before `t`, if any.
+    pub fn last_failure_before(&self, t: f64) -> Option<f64> {
+        let idx = self.failures.partition_point(|&f| f < t);
+        idx.checked_sub(1).map(|i| self.failures[i])
+    }
+
+    /// Date of the first failure at or after `t`, if any.
+    pub fn next_failure_at_or_after(&self, t: f64) -> Option<f64> {
+        let idx = self.failures.partition_point(|&f| f < t);
+        self.failures.get(idx).copied()
+    }
+}
+
+/// A full trace set: one [`FailureTrace`] per unit, plus the topology that
+/// maps units to processors.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    /// One trace per failure unit (processor or node).
+    pub units: Vec<FailureTrace>,
+    /// Unit → processor mapping.
+    pub topology: Topology,
+    /// Horizon the traces were sampled to, seconds.
+    pub horizon: f64,
+    /// Job start time `t0` within the horizon (§4.3: 1 year for parallel
+    /// platforms to avoid synchronous-initialisation side effects, 0 for
+    /// the single-processor experiments).
+    pub start_time: f64,
+}
+
+impl TraceSet {
+    /// Generate traces for `units` failure units.
+    ///
+    /// Each unit's RNG seed derives from `seeds.child(unit_index)`, which
+    /// delivers the §4.3 prefix property: generating for `b` units and
+    /// truncating to `p ≤ b` equals generating for `p` units directly.
+    pub fn generate(
+        dist: &dyn FailureDistribution,
+        units: usize,
+        topology: Topology,
+        horizon: f64,
+        start_time: f64,
+        seeds: SeedSequence,
+    ) -> Self {
+        assert!(units >= 1, "need at least one unit");
+        assert!(
+            (0.0..horizon).contains(&start_time),
+            "start_time must fall within the horizon"
+        );
+        let units = (0..units)
+            .map(|i| FailureTrace::sample(dist, horizon, seeds.child(i as u64).seed()))
+            .collect();
+        Self { units, topology, horizon, start_time }
+    }
+
+    /// Number of failure units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of processors covered (`units × procs_per_unit`).
+    pub fn proc_count(&self) -> usize {
+        self.units.len() * self.topology.procs_per_unit()
+    }
+
+    /// Restrict to the first `units` traces (prefix-coherent subset).
+    pub fn prefix(&self, units: usize) -> Self {
+        assert!(units >= 1 && units <= self.units.len());
+        Self {
+            units: self.units[..units].to_vec(),
+            topology: self.topology,
+            horizon: self.horizon,
+            start_time: self.start_time,
+        }
+    }
+
+    /// Merge into the platform-wide event stream used by the simulator.
+    pub fn platform_events(&self) -> PlatformEvents {
+        let mut events: Vec<(f64, u32)> = self
+            .units
+            .iter()
+            .enumerate()
+            .flat_map(|(u, tr)| tr.failures.iter().map(move |&t| (t, u as u32)))
+            .collect();
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        PlatformEvents { events }
+    }
+
+    /// Empirical platform MTBF over `[start_time, horizon)` — used to
+    /// sanity-check the analytic formulas of [`crate::mtbf`].
+    pub fn empirical_platform_mtbf(&self) -> Option<f64> {
+        let n: usize = self
+            .units
+            .iter()
+            .map(|tr| tr.failures.iter().filter(|&&t| t >= self.start_time).count())
+            .sum();
+        if n == 0 {
+            None
+        } else {
+            Some((self.horizon - self.start_time) / n as f64)
+        }
+    }
+}
+
+/// Time-sorted `(date, unit)` failure events for one platform trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformEvents {
+    events: Vec<(f64, u32)>,
+}
+
+impl PlatformEvents {
+    /// All events in time order.
+    pub fn as_slice(&self) -> &[(f64, u32)] {
+        &self.events
+    }
+
+    /// Number of failures in the stream.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the platform never fails within the horizon.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Index of the first event at or after time `t`.
+    pub fn first_at_or_after(&self, t: f64) -> usize {
+        self.events.partition_point(|&(d, _)| d < t)
+    }
+
+    /// The first `(date, unit)` failure at or after `t`, if any.
+    pub fn next_failure(&self, t: f64) -> Option<(f64, u32)> {
+        self.events.get(self.first_at_or_after(t)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dist::{Exponential, Weibull};
+
+    fn seeds() -> SeedSequence {
+        SeedSequence::from_label("trace-tests")
+    }
+
+    #[test]
+    fn traces_are_sorted_and_within_horizon() {
+        let d = Exponential::from_mtbf(10.0);
+        let tr = FailureTrace::sample(&d, 1000.0, 42);
+        assert!(!tr.failures.is_empty());
+        for w in tr.failures.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*tr.failures.last().unwrap() < 1000.0);
+    }
+
+    #[test]
+    fn expected_failure_count_matches_mtbf() {
+        let d = Exponential::from_mtbf(10.0);
+        let n: usize = (0..200)
+            .map(|i| FailureTrace::sample(&d, 1000.0, 1000 + i).failures.len())
+            .sum();
+        let avg = n as f64 / 200.0;
+        assert!((avg - 100.0).abs() < 3.0, "avg failures {avg}");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let tr = FailureTrace { failures: vec![10.0, 20.0, 30.0] };
+        assert_eq!(tr.last_failure_before(5.0), None);
+        assert_eq!(tr.last_failure_before(25.0), Some(20.0));
+        assert_eq!(tr.last_failure_before(30.0), Some(20.0));
+        assert_eq!(tr.next_failure_at_or_after(30.0), Some(30.0));
+        assert_eq!(tr.next_failure_at_or_after(30.1), None);
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // §4.3: first p traces of a b-unit set == the p-unit set.
+        let d = Weibull::from_mtbf(0.7, 50.0);
+        let big = TraceSet::generate(&d, 64, Topology::per_processor(), 500.0, 0.0, seeds());
+        let small = TraceSet::generate(&d, 16, Topology::per_processor(), 500.0, 0.0, seeds());
+        assert_eq!(&big.units[..16], &small.units[..]);
+        assert_eq!(big.prefix(16).units, small.units);
+    }
+
+    #[test]
+    fn platform_events_are_merged_and_sorted() {
+        let d = Exponential::from_mtbf(20.0);
+        let set = TraceSet::generate(&d, 8, Topology::per_processor(), 400.0, 0.0, seeds());
+        let ev = set.platform_events();
+        let total: usize = set.units.iter().map(|t| t.failures.len()).sum();
+        assert_eq!(ev.len(), total);
+        for w in ev.as_slice().windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn next_failure_scans_correctly() {
+        let set = TraceSet {
+            units: vec![
+                FailureTrace { failures: vec![5.0, 50.0] },
+                FailureTrace { failures: vec![10.0] },
+            ],
+            topology: Topology::per_processor(),
+            horizon: 100.0,
+            start_time: 0.0,
+        };
+        let ev = set.platform_events();
+        assert_eq!(ev.next_failure(0.0), Some((5.0, 0)));
+        assert_eq!(ev.next_failure(6.0), Some((10.0, 1)));
+        assert_eq!(ev.next_failure(10.0), Some((10.0, 1)));
+        assert_eq!(ev.next_failure(60.0), None);
+    }
+
+    #[test]
+    fn empirical_platform_mtbf_scales_inversely_with_units() {
+        let d = Exponential::from_mtbf(1000.0);
+        let one = TraceSet::generate(&d, 4, Topology::per_processor(), 100_000.0, 0.0, seeds());
+        let many = TraceSet::generate(&d, 64, Topology::per_processor(), 100_000.0, 0.0, seeds());
+        let m1 = one.empirical_platform_mtbf().unwrap();
+        let m2 = many.empirical_platform_mtbf().unwrap();
+        // 16× more units → roughly 16× smaller platform MTBF.
+        let ratio = m1 / m2;
+        assert!((8.0..32.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn node_topology_proc_count() {
+        let d = Exponential::from_mtbf(100.0);
+        let set = TraceSet::generate(&d, 10, Topology::nodes_of(4), 100.0, 0.0, seeds());
+        assert_eq!(set.unit_count(), 10);
+        assert_eq!(set.proc_count(), 40);
+    }
+}

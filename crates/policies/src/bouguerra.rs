@@ -1,0 +1,177 @@
+//! Bouguerra et al. 2010 — optimal periodic policy **under the
+//! all-processor-rejuvenation assumption** (§4.1's `Bouguerra`).
+//!
+//! Bouguerra et al. prove that with constant checkpoint/recovery overheads
+//! and Exponential *or* Weibull failures the optimal policy is periodic,
+//! and give formulas for the period — but, as §7 of our reference paper
+//! points out, "their results rely on the unstated assumption that all
+//! processors are rejuvenated after each failure and after each
+//! checkpoint". Under that assumption every attempt starts from platform
+//! age 0 and platform failures are iid minima of `p` processor lifetimes:
+//! for Weibull(λ, k) processors that is Weibull(λ/p^{1/k}, k).
+//!
+//! We implement the policy as the period `ω` maximising the steady-state
+//! efficiency of the induced renewal process (each attempt statistically
+//! independent and age-zero by the rejuvenation assumption):
+//!
+//! ```text
+//! eff(ω) = ω · s(ω) / E[cycle(ω)],
+//! E[cycle] = (ω + C)·s(ω) + (1 − s(ω))·(E[Tlost(ω+C|0)] + D + R),
+//! s(ω) = S_platform(ω + C | age 0).
+//! ```
+//!
+//! For `k = 1` this recovers (essentially) the OptExp period; for `k < 1`
+//! the rejuvenated platform's minimum-of-`p` survival is catastrophically
+//! pessimistic (`p^{1/k} ≫ p`), which is exactly why the real policy
+//! underperforms at scale (Figure 4, Figure 5) — the behaviour this
+//! implementation reproduces.
+
+use crate::periodic::FixedPeriod;
+use crate::{Policy, PolicySession};
+use ckpt_dist::FailureDistribution;
+use ckpt_workload::JobSpec;
+
+/// Bouguerra's periodic policy.
+#[derive(Debug, Clone)]
+pub struct Bouguerra {
+    policy: FixedPeriod,
+}
+
+impl Bouguerra {
+    /// Build from the job spec and the **rejuvenated-platform** failure
+    /// distribution (minimum over the enrolled processors, age zero at
+    /// every attempt). For Weibull processors pass
+    /// `weibull.min_of(spec.procs)`.
+    pub fn new(spec: &JobSpec, platform_dist: &dyn FailureDistribution) -> Self {
+        let period = optimal_period(spec, platform_dist);
+        Self { policy: FixedPeriod::new("Bouguerra", period) }
+    }
+
+    /// The computed period, seconds of work.
+    pub fn period(&self) -> f64 {
+        self.policy.period()
+    }
+}
+
+impl Policy for Bouguerra {
+    fn name(&self) -> &str {
+        "Bouguerra"
+    }
+
+    fn session(&self) -> Box<dyn PolicySession + '_> {
+        self.policy.session()
+    }
+}
+
+/// Steady-state efficiency of period `ω` under the rejuvenation assumption.
+fn efficiency(spec: &JobSpec, dist: &dyn FailureDistribution, omega: f64) -> f64 {
+    let attempt = omega + spec.checkpoint;
+    let s = dist.survival(attempt);
+    let lost = dist.expected_loss(attempt, 0.0);
+    let cycle = attempt * s + (1.0 - s) * (lost + spec.downtime + spec.recovery);
+    if cycle <= 0.0 {
+        return 0.0;
+    }
+    omega * s / cycle
+}
+
+/// Golden-section maximisation of the (unimodal in practice) efficiency
+/// over `ω ∈ [C, W]`, refined from a coarse log-spaced scan so that flat
+/// or multi-modal shapes (small k) still land on the global optimum.
+fn optimal_period(spec: &JobSpec, dist: &dyn FailureDistribution) -> f64 {
+    let lo = spec.checkpoint.max(1.0);
+    let hi = spec.work.max(lo * (1.0 + 1e-9));
+    // Coarse scan.
+    let n = 256;
+    let (mut best_x, mut best_v) = (lo, f64::NEG_INFINITY);
+    for i in 0..=n {
+        let x = lo * (hi / lo).powf(i as f64 / n as f64);
+        let v = efficiency(spec, dist, x);
+        if v > best_v {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    // Golden-section refinement around the scan winner.
+    let gr = (5f64.sqrt() - 1.0) / 2.0;
+    let mut a = (best_x / (hi / lo).powf(1.0 / n as f64)).max(lo);
+    let mut b = (best_x * (hi / lo).powf(1.0 / n as f64)).min(hi);
+    for _ in 0..80 {
+        let c = b - gr * (b - a);
+        let d = a + gr * (b - a);
+        if efficiency(spec, dist, c) < efficiency(spec, dist, d) {
+            a = c;
+        } else {
+            b = d;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dist::{Exponential, Weibull};
+
+    const DAY: f64 = 86_400.0;
+    const YEAR: f64 = 365.25 * DAY;
+
+    #[test]
+    fn exponential_period_close_to_optexp() {
+        let spec = JobSpec::table1_single_processor();
+        let d = Exponential::from_mtbf(DAY);
+        let b = Bouguerra::new(&spec, &d);
+        let opt = crate::OptExp::new(&spec, 1.0 / DAY);
+        let rel = (b.period() - opt.period()).abs() / opt.period();
+        assert!(rel < 0.25, "Bouguerra {} vs OptExp {}", b.period(), opt.period());
+    }
+
+    #[test]
+    fn rejuvenation_assumption_shrinks_period_for_weibull() {
+        // With k = 0.7 at Petascale, the rejuvenated platform distribution
+        // has a far smaller MTBF than the real (failed-only) platform, so
+        // Bouguerra checkpoints much more often than OptExp/Young.
+        let spec = JobSpec::table1_petascale(45_208);
+        let proc = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+        let plat = proc.min_of(45_208);
+        let b = Bouguerra::new(&spec, &plat);
+        let young = crate::young(&spec, 125.0 * YEAR);
+        assert!(
+            b.period() < 0.7 * young.period(),
+            "Bouguerra {} should be well below Young {}",
+            b.period(),
+            young.period()
+        );
+    }
+
+    #[test]
+    fn harm_grows_as_shape_shrinks() {
+        // Figure 5's mechanism: smaller k → smaller rejuvenated platform
+        // MTBF → shorter Bouguerra period relative to the true optimum.
+        let spec = JobSpec::table1_petascale(45_208);
+        let ratio = |k: f64| {
+            let plat = Weibull::from_mtbf(k, 125.0 * YEAR).min_of(45_208);
+            Bouguerra::new(&spec, &plat).period()
+        };
+        let p07 = ratio(0.7);
+        let p05 = ratio(0.5);
+        assert!(p05 < p07, "k=0.5 period {p05} should be below k=0.7 {p07}");
+    }
+
+    #[test]
+    fn efficiency_is_zero_at_degenerate_period() {
+        let spec = JobSpec::table1_single_processor();
+        let d = Exponential::from_mtbf(DAY);
+        // ω → 0: efficiency → 0 (all checkpoint, no work).
+        assert!(efficiency(&spec, &d, 1e-9) < 1e-6);
+    }
+
+    #[test]
+    fn period_within_bounds() {
+        let spec = JobSpec::table1_single_processor();
+        let d = Weibull::from_mtbf(0.7, 3_600.0);
+        let b = Bouguerra::new(&spec, &d);
+        assert!(b.period() >= spec.checkpoint);
+        assert!(b.period() <= spec.work);
+    }
+}

@@ -1,0 +1,120 @@
+//! Young's and Daly's periodic approximations (§4.1).
+//!
+//! All three compute their period from the *platform* MTBF `M = MTBF/p`
+//! (processor MTBF over processor count), embodying the implicit assumption
+//! that failures are exponentially distributed; the paper nevertheless
+//! applies them verbatim to Weibull and log-based failures, which is
+//! exactly what makes them degrade at scale (Figures 4–7).
+
+use crate::periodic::FixedPeriod;
+use ckpt_workload::JobSpec;
+
+/// Young 1974: period `√(2 · C(p) · MTBF/p)`.
+pub fn young(spec: &JobSpec, proc_mtbf: f64) -> FixedPeriod {
+    assert!(proc_mtbf > 0.0);
+    let m = proc_mtbf / spec.procs as f64;
+    FixedPeriod::new("Young", (2.0 * spec.checkpoint * m).sqrt())
+}
+
+/// Daly 2004 lower-order estimate: period
+/// `√(2 · C(p) · (MTBF/p + D + R(p)))` — Young with the recovery chain
+/// folded into the failure-free interval.
+pub fn daly_low(spec: &JobSpec, proc_mtbf: f64) -> FixedPeriod {
+    assert!(proc_mtbf > 0.0);
+    let m = proc_mtbf / spec.procs as f64 + spec.downtime + spec.recovery;
+    FixedPeriod::new("DalyLow", (2.0 * spec.checkpoint * m).sqrt())
+}
+
+/// Daly 2004 higher-order estimate:
+///
+/// ```text
+/// period = √(2CM) · [1 + ⅓√(C/2M) + (1/9)(C/2M)] − C   if C < 2M,
+/// period = M                                            otherwise,
+/// ```
+///
+/// with `M = MTBF/p`.
+pub fn daly_high(spec: &JobSpec, proc_mtbf: f64) -> FixedPeriod {
+    assert!(proc_mtbf > 0.0);
+    let m = proc_mtbf / spec.procs as f64;
+    let c = spec.checkpoint;
+    let period = if c < 2.0 * m {
+        let r = c / (2.0 * m);
+        (2.0 * c * m).sqrt() * (1.0 + r.sqrt() / 3.0 + r / 9.0) - c
+    } else {
+        m
+    };
+    // The −C correction can push the period non-positive when C ≈ 2M;
+    // floor at the checkpoint cost itself.
+    FixedPeriod::new("DalyHigh", period.max(c.min(m)).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+
+    const DAY: f64 = 86_400.0;
+
+    fn spec() -> JobSpec {
+        JobSpec::table1_single_processor()
+    }
+
+    #[test]
+    fn young_formula() {
+        let p = young(&spec(), DAY);
+        assert!((p.period() - (2.0f64 * 600.0 * DAY).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_low_adds_recovery_chain() {
+        let p = daly_low(&spec(), DAY);
+        let expect = (2.0f64 * 600.0 * (DAY + 60.0 + 600.0)).sqrt();
+        assert!((p.period() - expect).abs() < 1e-9);
+        assert!(p.period() > young(&spec(), DAY).period());
+    }
+
+    #[test]
+    fn daly_high_is_near_young_for_large_mtbf() {
+        // C ≪ M: the correction terms vanish and DalyHigh ≈ Young − C.
+        let week = 7.0 * DAY;
+        let y = young(&spec(), week).period();
+        let h = daly_high(&spec(), week).period();
+        assert!((h - y).abs() < 0.1 * y, "young {y} dalyhigh {h}");
+    }
+
+    #[test]
+    fn daly_high_saturates_at_mtbf_when_checkpoint_dominates() {
+        // C ≥ 2M → period = M.
+        let s = JobSpec::sequential(1e6, 900.0, 900.0, 60.0);
+        let p = daly_high(&s, 400.0);
+        assert!((p.period() - 400.0).abs() < 1e-9, "got {}", p.period());
+    }
+
+    #[test]
+    fn platform_scaling_divides_mtbf() {
+        // 4× the processors → half the period (√ scaling).
+        let year = 365.25 * DAY;
+        let s1 = JobSpec::table1_petascale(1 << 10);
+        let s4 = JobSpec::table1_petascale(1 << 12);
+        let p1 = young(&s1, 125.0 * year).period();
+        let p4 = young(&s4, 125.0 * year).period();
+        assert!((p1 / p4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(young(&spec(), DAY).name(), "Young");
+        assert_eq!(daly_low(&spec(), DAY).name(), "DalyLow");
+        assert_eq!(daly_high(&spec(), DAY).name(), "DalyHigh");
+    }
+
+    #[test]
+    fn petascale_period_magnitude_sanity() {
+        // 45,208 procs, 125-year MTBF, C = 600 s: platform MTBF ≈ 87,250 s,
+        // Young ≈ √(2·600·87250) ≈ 10,233 s.
+        let year = 365.25 * DAY;
+        let s = JobSpec::table1_petascale(45_208);
+        let p = young(&s, 125.0 * year).period();
+        assert!((9_000.0..12_000.0).contains(&p), "period {p}");
+    }
+}

@@ -1,0 +1,512 @@
+//! `DPMakespan` — Algorithm 1: quantised dynamic programming for the
+//! `Makespan` problem under arbitrary failure distributions.
+//!
+//! With a time quantum `u` and `x` remaining work quanta, the expected
+//! optimal makespan from processor age `τ` satisfies (Proposition 1):
+//!
+//! ```text
+//! V(x, τ) = min_{1 ≤ i ≤ x} [ Psuc(iu+C|τ)·(iu + C + V(x−i, τ+iu+C))
+//!            + (1 − Psuc(iu+C|τ))·(E[Tlost(iu+C|τ)] + E[Trec] + V(x, R)) ]
+//! ```
+//!
+//! The failure branch re-enters the *post-failure state* `(x, R)` — at that
+//! state the equation is self-referential. Each candidate chunk `i` there
+//! gives an affine one-step equation `V = aᵢ + bᵢ·V` with `bᵢ = 1 − Psucᵢ ∈
+//! (0,1)`, whose optimal fixed point is `V = minᵢ aᵢ/(1 − bᵢ)` (the
+//! standard single-self-loop MDP solution). We therefore compute the
+//! post-failure backbone `V(·, R)` bottom-up in `x` first, then memoise all
+//! other `(x, τ)` states lazily with `τ` quantised to the grid.
+//!
+//! `E[Trec]` comes from Proposition 1:
+//! `E[Trec] = D + R + (1−Psuc(R|0))/Psuc(R|0) · (D + E[Tlost(R|0)])`.
+//!
+//! For **parallel** jobs the paper notes the exact extension is
+//! exponential in `p`; `DPMakespan` is then run on the *rejuvenated
+//! platform* distribution (the "false assumption that all processors are
+//! rejuvenated after each failure", §4.1) — pass `weibull.min_of(p)` or the
+//! `pλ` Exponential as `dist`.
+
+use crate::{clamp_chunk, AgeView, Policy, PolicySession};
+use ckpt_dist::FailureDistribution;
+use ckpt_workload::JobSpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Tunables of the Makespan DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpMakespanConfig {
+    /// Number of quanta the job's work is divided into (`u = W / quanta`).
+    /// `None` sizes the quantum from the distribution's mean so the
+    /// expected optimal chunk `√(2CM)` spans several quanta — see
+    /// [`auto_makespan_quanta`].
+    pub quanta: Option<usize>,
+    /// Collapse the age dimension (valid — and fast — for memoryless
+    /// distributions, where `Psuc` and `E[Tlost]` ignore `τ`).
+    pub assume_memoryless: bool,
+}
+
+impl Default for DpMakespanConfig {
+    fn default() -> Self {
+        Self { quanta: None, assume_memoryless: false }
+    }
+}
+
+/// Auto-sized quantum count for the Makespan DP: `≈ 6·W/√(2CM)` (six
+/// quanta per expected optimal chunk), clamped to `[100, 4000]` for
+/// memoryless distributions (whose age dimension collapses, keeping the
+/// table linear in the count) and `[100, 1200]` otherwise (the general
+/// table is quadratic in the count). Near the flat optimum even 1–2
+/// quanta per chunk costs little; what must never happen is a quantum
+/// several times the MTBF.
+pub fn auto_makespan_quanta(work: f64, checkpoint: f64, mean: f64, memoryless: bool) -> usize {
+    let chunk_est = (2.0 * checkpoint.max(1.0) * mean).sqrt();
+    let q = (6.0 * work / chunk_est).ceil() as usize;
+    if memoryless {
+        q.clamp(100, 4000)
+    } else {
+        q.clamp(100, 1200)
+    }
+}
+
+/// The `DPMakespan` policy.
+pub struct DpMakespan {
+    dist: Box<dyn FailureDistribution>,
+    spec: JobSpec,
+    config: DpMakespanConfig,
+    u: f64,
+    e_rec: f64,
+    loss: LossTable,
+    /// Post-failure backbone `V(x, R)` and its chunk choice, indexed by x.
+    backbone: Vec<(f64, u32)>,
+    /// Lazy memo for general states, keyed by `(x, τ/u rounded)`.
+    memo: Mutex<HashMap<(u32, u64), (f64, u32)>>,
+}
+
+impl std::fmt::Debug for DpMakespan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpMakespan")
+            .field("spec", &self.spec)
+            .field("config", &self.config)
+            .field("u", &self.u)
+            .field("e_rec", &self.e_rec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DpMakespan {
+    /// Build for a job spec and the **platform-level** failure distribution
+    /// (the per-processor distribution itself when `spec.procs == 1`).
+    pub fn new(
+        spec: &JobSpec,
+        dist: Box<dyn FailureDistribution>,
+        config: DpMakespanConfig,
+    ) -> Self {
+        let quanta = match config.quanta {
+            Some(q) => {
+                assert!(q >= 2);
+                q
+            }
+            None => auto_makespan_quanta(
+                spec.work,
+                spec.checkpoint,
+                dist.mean(),
+                config.assume_memoryless,
+            ),
+        };
+        let config = DpMakespanConfig { quanta: Some(quanta), ..config };
+        let u = spec.work / quanta as f64;
+        // Horizon the loss table must cover: full job + all checkpoints +
+        // recovery, with margin. The grid must resolve the *smallest*
+        // window the DP will query — one quantum, one checkpoint, or the
+        // recovery duration, whichever is least.
+        let horizon = spec.work + (quanta as f64 + 2.0) * spec.checkpoint + spec.recovery;
+        let resolution = u
+            .min(spec.recovery.max(1.0))
+            .min(spec.checkpoint.max(1.0));
+        let loss = LossTable::build(dist.as_ref(), horizon.max(spec.recovery * 4.0), resolution);
+        // E[Trec] via Proposition 1. For memoryless distributions the
+        // trait's closed-form expected loss (Lemma 1) is exact; otherwise
+        // the table's interpolation is accurate at `resolution` scale.
+        let psuc_r = dist.psuc(spec.recovery, 0.0);
+        let lost_r = if config.assume_memoryless {
+            dist.expected_loss(spec.recovery, 0.0)
+        } else {
+            loss.loss(dist.as_ref(), spec.recovery, 0.0)
+        };
+        let e_rec = if psuc_r <= 0.0 {
+            // Recovery can never succeed — pathological spec; make the
+            // penalty enormous but finite so the DP stays well-defined.
+            f64::MAX / 1e6
+        } else {
+            spec.downtime + spec.recovery + (1.0 - psuc_r) / psuc_r * (spec.downtime + lost_r)
+        };
+        let mut this = Self {
+            dist,
+            spec: *spec,
+            config,
+            u,
+            e_rec,
+            loss,
+            backbone: Vec::new(),
+            memo: Mutex::new(HashMap::new()),
+        };
+        this.compute_backbone();
+        this
+    }
+
+    /// The work quantum `u`, seconds.
+    pub fn quantum(&self) -> f64 {
+        self.u
+    }
+
+    /// The quantum count in effect (after auto-selection).
+    pub fn quanta(&self) -> usize {
+        self.config.quanta.expect("resolved at construction")
+    }
+
+    /// `E[Trec]` (Proposition 1), seconds.
+    pub fn expected_recovery(&self) -> f64 {
+        self.e_rec
+    }
+
+    /// Post-failure backbone `V(·, R)`: solve the affine self-loop fixed
+    /// point for each `x` ascending, pushing each entry before computing
+    /// the next — the successor values `V(x−i, R+attempt)` are evaluated
+    /// through the general memo, whose own failure branches only consult
+    /// backbone entries at indices `< x`, which are already in place.
+    fn compute_backbone(&mut self) {
+        let n = self.quanta();
+        let r = self.spec.recovery;
+        let c = self.spec.checkpoint;
+        self.backbone.push((0.0, 0));
+        for x in 1..=n {
+            let mut best = f64::INFINITY;
+            let mut best_i = 1u32;
+            for i in 1..=x {
+                let attempt = i as f64 * self.u + c;
+                let psuc = self.psuc(attempt, r);
+                if psuc <= 0.0 {
+                    continue;
+                }
+                let succ = if x - i == 0 {
+                    0.0
+                } else {
+                    self.value_bounded(x - i, r + attempt, x)
+                };
+                let lost = self.tlost(attempt, r);
+                let a_i = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec);
+                let cand = a_i / psuc; // fixed point of V = a + (1−psuc)·V
+                if cand < best {
+                    best = cand;
+                    best_i = i as u32;
+                }
+            }
+            self.backbone.push((best, best_i));
+        }
+    }
+
+    /// `Psuc(x|τ)` through the distribution.
+    fn psuc(&self, x: f64, tau: f64) -> f64 {
+        let tau = if self.config.assume_memoryless { 0.0 } else { tau };
+        self.dist.psuc(x, tau)
+    }
+
+    /// `E[Tlost(x|τ)]`: closed form for memoryless distributions, table
+    /// interpolation otherwise.
+    fn tlost(&self, x: f64, tau: f64) -> f64 {
+        if self.config.assume_memoryless {
+            self.dist.expected_loss(x, 0.0)
+        } else {
+            self.loss.loss(self.dist.as_ref(), x, tau)
+        }
+    }
+
+    /// Memoised `V(x, τ)` for states reachable only with `x < bound` ...
+    /// recursion strictly decreases `x`, so `bound` documents the
+    /// invariant; it is debug-asserted.
+    fn value_bounded(&self, x: usize, tau: f64, bound: usize) -> f64 {
+        debug_assert!(x < bound);
+        self.value(x, tau)
+    }
+
+    /// Memoised `V(x, τ)`; the failure branch uses the precomputed
+    /// backbone, so recursion strictly decreases `x` and terminates.
+    pub fn value(&self, x: usize, tau: f64) -> f64 {
+        self.state(x, tau).0
+    }
+
+    /// Optimal chunk (in quanta) at `(x, τ)`.
+    pub fn chunk_quanta(&self, x: usize, tau: f64) -> u32 {
+        self.state(x, tau).1
+    }
+
+    fn tau_key(&self, tau: f64) -> u64 {
+        if self.config.assume_memoryless {
+            0
+        } else {
+            (tau / self.u).round() as u64
+        }
+    }
+
+    fn state(&self, x: usize, tau: f64) -> (f64, u32) {
+        if x == 0 {
+            return (0.0, 0);
+        }
+        // Post-failure states hit the backbone exactly.
+        if !self.config.assume_memoryless && (tau - self.spec.recovery).abs() < 1e-9 {
+            return self.backbone[x];
+        }
+        let key = (x as u32, self.tau_key(tau));
+        if let Some(&v) = self.memo.lock().get(&key) {
+            return v;
+        }
+        let c = self.spec.checkpoint;
+        let fail_v = self.backbone[x].0;
+        let mut best = f64::INFINITY;
+        let mut best_i = 1u32;
+        for i in 1..=x {
+            let attempt = i as f64 * self.u + c;
+            let psuc = self.psuc(attempt, tau);
+            let succ = if x - i == 0 { 0.0 } else { self.value(x - i, tau + attempt) };
+            let lost = self.tlost(attempt, tau);
+            let cur = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec + fail_v);
+            if cur < best {
+                best = cur;
+                best_i = i as u32;
+            }
+        }
+        self.memo.lock().insert(key, (best, best_i));
+        (best, best_i)
+    }
+
+    /// The policy function `f(ω|τ)`: chunk size in seconds.
+    pub fn chunk_for(&self, remaining: f64, tau: f64) -> f64 {
+        let x = ((remaining / self.u).round() as usize).clamp(1, self.quanta());
+        let i = self.chunk_quanta(x, tau);
+        (f64::from(i) * self.u).min(remaining)
+    }
+}
+
+impl Policy for DpMakespan {
+    fn name(&self) -> &str {
+        "DPMakespan"
+    }
+
+    fn session(&self) -> Box<dyn PolicySession + '_> {
+        Box::new(DpMsSession { policy: self })
+    }
+}
+
+struct DpMsSession<'a> {
+    policy: &'a DpMakespan,
+}
+
+impl PolicySession for DpMsSession<'_> {
+    fn next_chunk(&mut self, remaining: f64, ages: &AgeView, _now: f64) -> f64 {
+        // DPMakespan tracks a single (macro-)processor age: under the
+        // rejuvenation assumption all processors share it; sequentially it
+        // is the true age.
+        let tau = ages.min_age();
+        clamp_chunk(self.policy.chunk_for(remaining, tau), remaining)
+    }
+}
+
+/// Precomputed cumulative survival integral `I(t) = ∫₀ᵗ S(s) ds` on a
+/// uniform grid, giving `E[Tlost(x|τ)]` in O(1):
+///
+/// ```text
+/// E[Tlost(x|τ)] = (I(τ+x) − I(τ) − x·S(τ+x)) / (S(τ) − S(τ+x)).
+/// ```
+///
+/// Adequate conditioning for the regimes DPMakespan runs in (chunk lengths
+/// comparable to the MTBF); falls back to half-window for vanishing failure
+/// probability.
+struct LossTable {
+    step: f64,
+    /// `I(k·step)` values.
+    cumulative: Vec<f64>,
+}
+
+impl LossTable {
+    fn build(dist: &dyn FailureDistribution, horizon: f64, quantum: f64) -> Self {
+        // Sub-quantum resolution, but bounded table size.
+        let step = (quantum / 8.0).max(horizon / 200_000.0);
+        let n = (horizon / step).ceil() as usize + 2;
+        let mut cumulative = Vec::with_capacity(n);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        let mut prev_s = dist.survival(0.0);
+        for k in 1..n {
+            let t = k as f64 * step;
+            let s = dist.survival(t);
+            // Trapezoid.
+            acc += 0.5 * (prev_s + s) * step;
+            cumulative.push(acc);
+            prev_s = s;
+        }
+        Self { step, cumulative }
+    }
+
+    fn integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let pos = t / self.step;
+        let k = pos.floor() as usize;
+        if k + 1 >= self.cumulative.len() {
+            return *self.cumulative.last().expect("non-empty");
+        }
+        let frac = pos - k as f64;
+        self.cumulative[k] * (1.0 - frac) + self.cumulative[k + 1] * frac
+    }
+
+    fn loss(&self, dist: &dyn FailureDistribution, x: f64, tau: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let s_tau = dist.survival(tau);
+        let s_end = dist.survival(tau + x);
+        let denom = s_tau - s_end;
+        if denom <= 1e-12 * s_tau.max(1e-300) {
+            return 0.5 * x;
+        }
+        let num = self.integral(tau + x) - self.integral(tau) - x * s_end;
+        (num / denom).clamp(0.0, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dist::{Exponential, Weibull};
+
+    const DAY: f64 = 86_400.0;
+    const HOUR: f64 = 3_600.0;
+
+    fn exp_dp(mtbf: f64, quanta: usize) -> (JobSpec, DpMakespan) {
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpMakespan::new(
+            &spec,
+            Box::new(Exponential::from_mtbf(mtbf)),
+            DpMakespanConfig { quanta: Some(quanta), assume_memoryless: true },
+        );
+        (spec, dp)
+    }
+
+    #[test]
+    fn expected_recovery_matches_lemma1_closed_form() {
+        let (spec, dp) = exp_dp(HOUR, 20);
+        let lambda = 1.0 / HOUR;
+        let e_lost_r = 1.0 / lambda - spec.recovery / (lambda * spec.recovery).exp_m1();
+        let expect = spec.downtime
+            + spec.recovery
+            + (lambda * spec.recovery).exp_m1() * (spec.downtime + e_lost_r);
+        let rel = (dp.expected_recovery() - expect).abs() / expect;
+        assert!(rel < 1e-3, "E[Trec] {} vs closed form {expect}", dp.expected_recovery());
+    }
+
+    #[test]
+    fn exponential_dp_value_matches_theorem1() {
+        // The DP's root value must approach Theorem 1's optimal expected
+        // makespan as the quantum shrinks. The quantum must resolve the
+        // optimal chunk (K* ≈ 177 at a 1-day MTBF → ~4 quanta per chunk
+        // at 700 quanta).
+        let mtbf = DAY;
+        let (spec, dp) = exp_dp(mtbf, 700);
+        let dp_value = dp.value(700, 0.0);
+        let opt = crate::optexp::optimal_expected_makespan_sequential(&spec, 1.0 / mtbf);
+        let rel = (dp_value - opt).abs() / opt;
+        assert!(rel < 0.03, "DP {dp_value} vs Theorem-1 {opt} (rel {rel})");
+        // And the DP can never beat the true optimum by more than
+        // quantisation noise.
+        assert!(dp_value > 0.95 * opt);
+    }
+
+    #[test]
+    fn exponential_dp_chunk_matches_optexp_period() {
+        let mtbf = DAY;
+        let (spec, dp) = exp_dp(mtbf, 700);
+        let chunk = dp.chunk_for(spec.work, 0.0);
+        let period = crate::OptExp::new(&spec, 1.0 / mtbf).period();
+        let rel = (chunk - period).abs() / period;
+        assert!(rel < 0.15, "DP chunk {chunk} vs OptExp {period}");
+    }
+
+    #[test]
+    fn backbone_is_monotone_in_work() {
+        let (_, dp) = exp_dp(HOUR, 60);
+        for x in 1..60 {
+            assert!(
+                dp.backbone[x].0 < dp.backbone[x + 1].0,
+                "V({x}, R) ≥ V({}, R)",
+                x + 1
+            );
+        }
+    }
+
+    #[test]
+    fn value_exceeds_failure_free_time() {
+        let (_, dp) = exp_dp(HOUR, 40);
+        // Expected makespan ≥ work + minimum checkpointing time.
+        let v = dp.value(40, 0.0);
+        let w = 40.0 * dp.quantum();
+        assert!(v > w, "V = {v} ≤ failure-free work {w}");
+    }
+
+    #[test]
+    fn weibull_dp_age_sensitivity() {
+        // k < 1: an old processor is safer, so the DP schedules a larger
+        // (or equal) first chunk from an old age than right after recovery.
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpMakespan::new(
+            &spec,
+            Box::new(Weibull::from_mtbf(0.7, DAY)),
+            DpMakespanConfig { quanta: Some(80), assume_memoryless: false },
+        );
+        let young_chunk = dp.chunk_for(spec.work, spec.recovery);
+        let old_chunk = dp.chunk_for(spec.work, 10.0 * DAY);
+        assert!(
+            old_chunk >= young_chunk,
+            "old {old_chunk} < young {young_chunk}"
+        );
+    }
+
+    #[test]
+    fn weibull_value_finite_and_positive() {
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpMakespan::new(
+            &spec,
+            Box::new(Weibull::from_mtbf(0.7, HOUR)),
+            DpMakespanConfig { quanta: Some(50), assume_memoryless: false },
+        );
+        let v = dp.value(50, 0.0);
+        assert!(v.is_finite() && v > spec.work);
+    }
+
+    #[test]
+    fn session_returns_valid_chunks() {
+        let (spec, dp) = exp_dp(DAY, 60);
+        let mut s = dp.session();
+        let ages = AgeView::single(0.0);
+        let mut remaining = spec.work;
+        for _ in 0..5 {
+            let c = s.next_chunk(remaining, &ages, 0.0);
+            assert!(c > 0.0 && c <= remaining + 1e-9);
+            remaining -= c;
+        }
+    }
+
+    #[test]
+    fn loss_table_matches_exponential_closed_form() {
+        let d = Exponential::from_mtbf(1000.0);
+        let table = LossTable::build(&d, 20_000.0, 50.0);
+        for &(x, tau) in &[(100.0, 0.0), (500.0, 200.0), (2_000.0, 0.0)] {
+            let got = table.loss(&d, x, tau);
+            let expect = d.expected_loss(x, tau);
+            assert!(
+                (got - expect).abs() < 0.02 * expect.max(1.0),
+                "x={x} τ={tau}: table {got} vs closed {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! `DPNextFailure` — Algorithm 2 and its §3.3 parallel extension.
+//!
+//! The policy maximises the expected amount of work completed before the
+//! next platform failure (Proposition 3):
+//!
+//! ```text
+//! E[W] = Σᵢ ωᵢ · Πⱼ≤ᵢ Psuc(ωⱼ + C | tⱼ),   tⱼ = elapsed age when chunk j starts.
+//! ```
+//!
+//! With a time quantum `u` the value function over states `(x, n)` —
+//! `x` remaining quanta, `n` chunks already completed since planning —
+//! satisfies
+//!
+//! ```text
+//! V(x, n) = max_{1 ≤ i ≤ x}  Psuc(iu + C | δ(x, n)) · (iu + V(x − i, n + 1)),
+//! δ(x, n) = (x_max − x)·u + n·C          (elapsed time since planning),
+//! ```
+//!
+//! which we solve bottom-up in `O(x_max² · avg i)` after precomputing the
+//! platform log-survival `G(a, m) = Σⱼ ln S(τⱼ + a·u + m·C)` on the
+//! `(a, m)` grid, so each transition's `ln Psuc = G(a', m') − G(a, m)` is
+//! O(1). The per-processor ages `τⱼ` enter only through `G`.
+//!
+//! The two §3.3 scalability devices are implemented faithfully:
+//!
+//! * **work truncation** — the DP is invoked on
+//!   `min(ω, 2 × MTBF/p)` work and only the first **half** of the produced
+//!   chunk schedule is used before replanning;
+//! * **state compression** — optionally approximate all but the `n_exact`
+//!   smallest processor ages by `n_approx` reference quantiles
+//!   ([`StateCompression::Approximate`]); our [`AgeView`] already collapses
+//!   never-failed processors, so [`StateCompression::Exact`] is itself
+//!   cheap and serves as the precision baseline of the paper's ≤0.2 %
+//!   error study (reproduced in the `ablation_state_compression` bench).
+
+use crate::{clamp_chunk, AgeView, Policy, PolicySession};
+use ckpt_dist::FailureDistribution;
+use ckpt_workload::JobSpec;
+use std::collections::{HashMap, VecDeque};
+
+/// How the processor-age multiset is summarised before planning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateCompression {
+    /// Exact ages while the distinct-age set stays small (≤ 128 entries),
+    /// the paper's (10, 100) scheme beyond — failure-dense platforms
+    /// (the log-based runs of §6) would otherwise pay O(#failures) per
+    /// grid point.
+    Auto,
+    /// Use every distinct age with its exact multiplicity.
+    Exact,
+    /// §3.3's scheme: keep the `n_exact` smallest ages exact, map the rest
+    /// onto `n_approx` survival-quantile reference values.
+    Approximate {
+        /// Number of smallest ages kept exactly (paper: 10).
+        n_exact: usize,
+        /// Number of reference values (paper: 100).
+        n_approx: usize,
+    },
+}
+
+impl StateCompression {
+    /// The paper's configuration: `n_exact = 10`, `n_approx = 100`.
+    pub fn paper() -> Self {
+        Self::Approximate { n_exact: 10, n_approx: 100 }
+    }
+}
+
+/// Tunables of the DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpNextFailureConfig {
+    /// Number of quanta the (truncated) work is divided into; the quantum
+    /// is `u = W_trunc / quanta`. More quanta = finer chunks, higher cost.
+    /// `None` picks a resolution automatically so that the expected
+    /// optimal chunk (Young's order of magnitude, `√(2CM)`) spans
+    /// [`QUANTA_PER_CHUNK`] quanta — see [`auto_quanta`].
+    pub quanta: Option<usize>,
+    /// Work truncation in platform-MTBF multiples (paper: 2).
+    pub truncation_mtbf_multiple: f64,
+    /// Use only the first half of each planned schedule (paper: yes).
+    pub use_half_schedule: bool,
+    /// Age-state compression mode.
+    pub compression: StateCompression,
+}
+
+impl Default for DpNextFailureConfig {
+    fn default() -> Self {
+        Self {
+            quanta: None,
+            truncation_mtbf_multiple: 2.0,
+            use_half_schedule: true,
+            compression: StateCompression::Auto,
+        }
+    }
+}
+
+/// Maximum chunks a single plan looks ahead. Beyond ~32 chunks the tail
+/// of a schedule is almost never reached before a failure or a replan, so
+/// the planning window is capped at `32·√(2CM)` even when `2M` (the
+/// paper's truncation) is larger — this keeps the quantum fine relative
+/// to the chunk size on small platforms whose MTBF is enormous.
+pub const MAX_PLAN_CHUNKS: f64 = 32.0;
+
+/// Quanta per estimated chunk in the auto configuration.
+pub const QUANTA_PER_CHUNK: f64 = 8.0;
+
+/// Planning window for one DP invocation: `min(k·M, 32·√(2CM))`.
+pub fn planning_window(checkpoint: f64, platform_mtbf: f64, mtbf_multiple: f64) -> f64 {
+    let c = checkpoint.max(1.0);
+    let chunk_est = (2.0 * c * platform_mtbf).sqrt();
+    (mtbf_multiple * platform_mtbf).min(MAX_PLAN_CHUNKS * chunk_est)
+}
+
+/// Auto-sized quantum count: ~8 quanta per estimated chunk `√(2CM)`
+/// across the planning window, clamped to `[40, 256]` (DP cost grows
+/// cubically in the count).
+pub fn auto_quanta(checkpoint: f64, platform_mtbf: f64) -> usize {
+    let c = checkpoint.max(1.0);
+    let chunk_est = (2.0 * c * platform_mtbf).sqrt();
+    let window = planning_window(checkpoint, platform_mtbf, 2.0);
+    let q = QUANTA_PER_CHUNK * window / chunk_est;
+    (q as usize).clamp(40, 256)
+}
+
+/// The `DPNextFailure` policy.
+pub struct DpNextFailure {
+    dist: Box<dyn FailureDistribution>,
+    spec: JobSpec,
+    platform_mtbf: f64,
+    config: DpNextFailureConfig,
+    x_max: usize,
+    /// Plan cache keyed by `(work quanta, quantised age fingerprint)`,
+    /// shared across sessions and traces. Post-failure states recur with
+    /// identical fingerprints (the age is `D + R` plus small cascades), so
+    /// the hit rate is high even for age-dependent distributions.
+    cache: parking_lot::Mutex<HashMap<PlanKey, std::sync::Arc<Vec<f64>>>>,
+}
+
+impl std::fmt::Debug for DpNextFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpNextFailure")
+            .field("spec", &self.spec)
+            .field("config", &self.config)
+            .field("x_max", &self.x_max)
+            .finish_non_exhaustive()
+    }
+}
+
+type PlanKey = (u64, Vec<(u64, u64)>);
+
+impl DpNextFailure {
+    /// Build for a job spec, the per-processor failure distribution, and
+    /// the per-processor MTBF (used for work truncation; the paper's
+    /// `min(ω, 2·MTBF/p)`).
+    pub fn new(
+        spec: &JobSpec,
+        dist: Box<dyn FailureDistribution>,
+        proc_mtbf: f64,
+        config: DpNextFailureConfig,
+    ) -> Self {
+        assert!(proc_mtbf > 0.0);
+        assert!(config.truncation_mtbf_multiple > 0.0);
+        let platform_mtbf = proc_mtbf / spec.procs as f64;
+        let x_max = match config.quanta {
+            Some(q) => {
+                assert!(q >= 2, "need at least 2 quanta");
+                q
+            }
+            None => auto_quanta(spec.checkpoint, platform_mtbf),
+        };
+        Self {
+            dist,
+            spec: *spec,
+            platform_mtbf,
+            config,
+            x_max,
+            cache: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The quantum count in effect (after auto-selection).
+    pub fn quanta(&self) -> usize {
+        self.x_max
+    }
+
+    /// Plan a chunk schedule for `remaining` work given the age snapshot.
+    /// Public so the solver can be unit-tested and benchmarked directly.
+    pub fn plan(&self, remaining: f64, ages: &AgeView) -> Vec<f64> {
+        let window = planning_window(
+            self.spec.checkpoint,
+            self.platform_mtbf,
+            self.config.truncation_mtbf_multiple,
+        );
+        let w_full = remaining.min(window);
+        let truncated = w_full < remaining - 1e-9;
+        let x_max = self.x_max;
+        let u = w_full / x_max as f64;
+        let compressed = compress_ages(ages, self.dist.as_ref(), self.config.compression);
+        // Cache lookup on the quantised state.
+        let key: PlanKey = (
+            (w_full / u).round() as u64,
+            compressed
+                .iter()
+                .map(|&(a, c)| ((a / u).round() as u64, c.round() as u64))
+                .collect(),
+        );
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return hit.as_ref().clone();
+        }
+        let chunks = solve(
+            self.dist.as_ref(),
+            &compressed,
+            x_max,
+            u,
+            self.spec.checkpoint,
+        );
+        // §3.3: when the work was truncated, keep only the first half of
+        // the chunks to avoid end-of-horizon artefacts.
+        let chunks = if self.config.use_half_schedule && truncated && chunks.len() > 1 {
+            let keep = chunks.len().div_ceil(2);
+            chunks[..keep].to_vec()
+        } else {
+            chunks
+        };
+        let mut cache = self.cache.lock();
+        if cache.len() < 100_000 {
+            cache.insert(key, std::sync::Arc::new(chunks.clone()));
+        }
+        chunks
+    }
+}
+
+impl Policy for DpNextFailure {
+    fn name(&self) -> &str {
+        "DPNextFailure"
+    }
+
+    fn session(&self) -> Box<dyn PolicySession + '_> {
+        Box::new(DpNfSession { policy: self, schedule: VecDeque::new() })
+    }
+}
+
+struct DpNfSession<'a> {
+    policy: &'a DpNextFailure,
+    schedule: VecDeque<f64>,
+}
+
+impl PolicySession for DpNfSession<'_> {
+    fn next_chunk(&mut self, remaining: f64, ages: &AgeView, _now: f64) -> f64 {
+        if self.schedule.is_empty() {
+            self.schedule = self.policy.plan(remaining, ages).into();
+        }
+        let chunk = self.schedule.pop_front().unwrap_or(remaining);
+        clamp_chunk(chunk, remaining)
+    }
+
+    fn on_failure(&mut self) {
+        self.schedule.clear();
+    }
+}
+
+/// Collapse an [`AgeView`] into `(age, processor-count)` pairs according to
+/// the compression mode. Counts are `f64` so reference buckets can hold
+/// large populations.
+pub fn compress_ages(
+    ages: &AgeView,
+    dist: &dyn FailureDistribution,
+    mode: StateCompression,
+) -> Vec<(f64, f64)> {
+    let mut exact: Vec<(f64, f64)> = ages
+        .failed_ages()
+        .iter()
+        .map(|&(a, n)| (a, f64::from(n)))
+        .collect();
+    let (pristine_n, pristine_age) = ages.pristine();
+    if pristine_n > 0 {
+        exact.push((pristine_age, pristine_n as f64));
+    }
+    exact.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+
+    let (n_exact, n_approx) = match mode {
+        StateCompression::Exact => return exact,
+        StateCompression::Auto => {
+            if exact.len() <= 128 {
+                return exact;
+            }
+            let StateCompression::Approximate { n_exact, n_approx } = StateCompression::paper()
+            else {
+                unreachable!("paper() is Approximate")
+            };
+            (n_exact, n_approx)
+        }
+        StateCompression::Approximate { n_exact, n_approx } => (n_exact, n_approx),
+    };
+
+    // Split off the n_exact smallest individual processor ages.
+    let mut kept: Vec<(f64, f64)> = Vec::new();
+    let mut rest: Vec<(f64, f64)> = Vec::new();
+    let mut budget = n_exact as f64;
+    for (age, count) in exact {
+        if budget > 0.0 {
+            let take = count.min(budget);
+            kept.push((age, take));
+            budget -= take;
+            if count > take {
+                rest.push((age, count - take));
+            }
+        } else {
+            rest.push((age, count));
+        }
+    }
+    if rest.is_empty() {
+        return kept;
+    }
+    let lo = rest.first().expect("non-empty").0;
+    let hi = rest.last().expect("non-empty").0;
+    let n_approx = n_approx.max(2);
+    if hi - lo < 1e-9 || n_approx <= 2 {
+        // Degenerate spread: everything lands on the endpoints.
+        kept.extend(bucket_onto(&rest, &[lo, hi]));
+        return kept;
+    }
+    // Reference values: endpoints are the extreme remaining ages; interior
+    // values are survival-interpolated quantiles (§3.3).
+    let s_lo = dist.survival(lo);
+    let s_hi = dist.survival(hi);
+    let mut refs = Vec::with_capacity(n_approx);
+    refs.push(lo);
+    for i in 2..n_approx {
+        let w_hi = (i - 1) as f64 / (n_approx - 1) as f64;
+        let s = (1.0 - w_hi) * s_lo + w_hi * s_hi;
+        let s = s.clamp(f64::MIN_POSITIVE, 1.0);
+        refs.push(dist.inverse_survival(s));
+    }
+    refs.push(hi);
+    refs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    kept.extend(bucket_onto(&rest, &refs));
+    kept.retain(|&(_, c)| c > 0.0);
+    kept
+}
+
+/// Assign each `(age, count)` to the nearest reference value.
+fn bucket_onto(ages: &[(f64, f64)], refs: &[f64]) -> Vec<(f64, f64)> {
+    let mut counts = vec![0.0f64; refs.len()];
+    for &(age, count) in ages {
+        let idx = match refs.binary_search_by(|r| r.partial_cmp(&age).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i >= refs.len() {
+                    refs.len() - 1
+                } else if (refs[i] - age).abs() < (age - refs[i - 1]).abs() {
+                    i
+                } else {
+                    i - 1
+                }
+            }
+        };
+        counts[idx] += count;
+    }
+    refs.iter().copied().zip(counts).filter(|&(_, c)| c > 0.0).collect()
+}
+
+/// Bottom-up DP solve. Returns the chunk sizes (work seconds) in execution
+/// order for the full truncated work `x_max · u`.
+fn solve(
+    dist: &dyn FailureDistribution,
+    ages: &[(f64, f64)],
+    x_max: usize,
+    u: f64,
+    checkpoint: f64,
+) -> Vec<f64> {
+    assert!(u > 0.0, "quantum must be positive");
+    // G(a, m) = Σⱼ countⱼ · ln S(τⱼ + a·u + m·C); m ranges one past x_max
+    // because the final chunk still pays its checkpoint.
+    let m_max = x_max + 1;
+    let g = |a: usize, m: usize| -> f64 {
+        let t = a as f64 * u + m as f64 * checkpoint;
+        ages.iter()
+            .map(|&(tau, c)| c * dist.log_survival(tau + t))
+            .sum::<f64>()
+    };
+    let mut grid = vec![0.0f64; (x_max + 1) * (m_max + 1)];
+    for a in 0..=x_max {
+        for m in 0..=m_max {
+            grid[a * (m_max + 1) + m] = g(a, m);
+        }
+    }
+    let gg = |a: usize, m: usize| grid[a * (m_max + 1) + m];
+
+    // value[x][n] for n ≤ x_max − x (each chunk consumes ≥ 1 quantum).
+    let stride = x_max + 1;
+    let mut value = vec![0.0f64; stride * stride];
+    let mut choice = vec![0u32; stride * stride];
+    for x in 1..=x_max {
+        for n in 0..=(x_max - x) {
+            let a = x_max - x;
+            let base = gg(a, n);
+            let mut best = f64::NEG_INFINITY;
+            let mut best_i = x as u32;
+            for i in 1..=x {
+                let a2 = a + i;
+                let n2 = n + 1;
+                // ln Psuc of executing i quanta + checkpoint from (x, n).
+                let lp = gg(a2, n2) - base;
+                let succ = if x - i >= 1 && n2 <= x_max - (x - i) {
+                    value[(x - i) * stride + n2]
+                } else {
+                    0.0
+                };
+                let cur = lp.exp() * (i as f64 * u + succ);
+                // `>=` so ties (e.g. all-zero survival) prefer big chunks.
+                if cur >= best {
+                    best = cur;
+                    best_i = i as u32;
+                }
+            }
+            value[x * stride + n] = best;
+            choice[x * stride + n] = best_i;
+        }
+    }
+
+    // Walk the optimal schedule from (x_max, 0).
+    let mut chunks = Vec::new();
+    let mut x = x_max;
+    let mut n = 0usize;
+    while x > 0 {
+        let i = choice[x * stride + n] as usize;
+        chunks.push(i as f64 * u);
+        x -= i;
+        n += 1;
+    }
+    chunks
+}
+
+/// The expected work completed by a given schedule (Proposition 3's
+/// objective) — exposed for tests and the ablation benches.
+pub fn expected_work_of_schedule(
+    dist: &dyn FailureDistribution,
+    ages: &[(f64, f64)],
+    schedule: &[f64],
+    checkpoint: f64,
+) -> f64 {
+    let mut elapsed = 0.0;
+    let mut total = 0.0;
+    let g = |t: f64| -> f64 {
+        ages.iter().map(|&(tau, c)| c * dist.log_survival(tau + t)).sum::<f64>()
+    };
+    let g0 = g(0.0);
+    for &w in schedule {
+        elapsed += w + checkpoint;
+        let log_p = g(elapsed) - g0;
+        total += w * log_p.exp();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dist::{Exponential, Weibull};
+
+    const DAY: f64 = 86_400.0;
+    const YEAR: f64 = 365.25 * DAY;
+
+    fn small_config(quanta: usize) -> DpNextFailureConfig {
+        DpNextFailureConfig { quanta: Some(quanta), ..Default::default() }
+    }
+
+    #[test]
+    fn auto_quanta_scales_with_mtbf_over_checkpoint() {
+        assert!(auto_quanta(600.0, 3_600.0) < auto_quanta(600.0, 7.0 * 86_400.0));
+        // Clamped to the [40, 700] band.
+        assert_eq!(auto_quanta(600.0, 1.0), 40);
+        assert_eq!(auto_quanta(1.0, 1e12), 256);
+    }
+
+    #[test]
+    fn plan_cache_hits_identical_states() {
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(Weibull::from_mtbf(0.7, DAY)),
+            DAY,
+            small_config(50),
+        );
+        let ages = AgeView::single(660.0);
+        let a = dp.plan(spec.work, &ages);
+        let b = dp.plan(spec.work, &ages);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_covers_truncated_work() {
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(Exponential::from_mtbf(DAY)),
+            DAY,
+            DpNextFailureConfig { use_half_schedule: false, ..small_config(60) },
+        );
+        let ages = AgeView::single(0.0);
+        let plan = dp.plan(spec.work, &ages);
+        let total: f64 = plan.iter().sum();
+        let expect = (2.0 * DAY).min(spec.work);
+        assert!((total - expect).abs() < 1e-6, "planned {total}, expected {expect}");
+    }
+
+    #[test]
+    fn half_schedule_keeps_half_when_truncated() {
+        let spec = JobSpec::table1_single_processor();
+        let full = DpNextFailure::new(
+            &spec,
+            Box::new(Exponential::from_mtbf(DAY)),
+            DAY,
+            DpNextFailureConfig { use_half_schedule: false, ..small_config(60) },
+        );
+        let half = DpNextFailure::new(
+            &spec,
+            Box::new(Exponential::from_mtbf(DAY)),
+            DAY,
+            small_config(60),
+        );
+        let ages = AgeView::single(0.0);
+        let f = full.plan(spec.work, &ages);
+        let h = half.plan(spec.work, &ages);
+        assert_eq!(h.len(), f.len().div_ceil(2));
+        assert_eq!(&f[..h.len()], &h[..]);
+    }
+
+    #[test]
+    fn exponential_chunks_near_optexp_period() {
+        // For Exponential failures the retained (half-schedule) chunks sit
+        // near the Theorem-1 period. (The full NextFailure schedule tapers
+        // towards the window end — locking in small wins costs nothing in
+        // that objective — which is exactly why the paper discards the
+        // second half, §3.3.)
+        let spec = JobSpec::table1_single_processor();
+        let mtbf = DAY;
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(Exponential::from_mtbf(mtbf)),
+            mtbf,
+            small_config(120),
+        );
+        let ages = AgeView::single(0.0);
+        let plan = dp.plan(spec.work, &ages);
+        let opt = crate::OptExp::new(&spec, 1.0 / mtbf).period();
+        for &c in &plan {
+            assert!(
+                (0.5 * opt..2.0 * opt).contains(&c),
+                "chunk {c} far from OptExp period {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_schedule_tapers_half_schedule_does_not() {
+        let spec = JobSpec::table1_single_processor();
+        let mtbf = DAY;
+        let mk = |half: bool| {
+            let dp = DpNextFailure::new(
+                &spec,
+                Box::new(Exponential::from_mtbf(mtbf)),
+                mtbf,
+                DpNextFailureConfig { use_half_schedule: half, ..small_config(120) },
+            );
+            dp.plan(spec.work, &AgeView::single(0.0))
+        };
+        let full = mk(false);
+        let half = mk(true);
+        // The discarded tail contains the smallest chunks.
+        let min_full = full.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_half = half.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min_half > min_full, "half {min_half} vs full {min_full}");
+    }
+
+    #[test]
+    fn weibull_young_platform_schedules_growing_chunks() {
+        // Fresh platform, k < 1: hazard decays, so later chunks can be
+        // longer — §5.2.2 reports DPNextFailure growing its intervals.
+        let spec = JobSpec::table1_petascale(45_208);
+        let proc = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(proc),
+            125.0 * YEAR,
+            DpNextFailureConfig { use_half_schedule: false, ..small_config(120) },
+        );
+        let ages = AgeView::all_pristine(45_208, 60.0);
+        let plan = dp.plan(spec.work, &ages);
+        assert!(plan.len() >= 3, "plan too short: {plan:?}");
+        let first = plan[0];
+        let last = plan[plan.len() - 2];
+        assert!(last >= first, "chunks should not shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn dp_beats_fixed_period_on_objective() {
+        // The DP schedule's expected-work must dominate any equal-chunk
+        // schedule of the same total (it is optimal up to quantisation).
+        let spec = JobSpec::table1_single_processor();
+        let mtbf = 6.0 * 3_600.0;
+        let dist = Weibull::from_mtbf(0.7, mtbf);
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(dist),
+            mtbf,
+            DpNextFailureConfig { use_half_schedule: false, ..small_config(100) },
+        );
+        let ages = AgeView::single(0.0);
+        let plan = dp.plan(spec.work, &ages);
+        let total: f64 = plan.iter().sum();
+        let aged = compress_ages(&ages, &dist, StateCompression::Exact);
+        let dp_value = expected_work_of_schedule(&dist, &aged, &plan, spec.checkpoint);
+        for k in [2usize, 5, 10, 20, 50] {
+            let uniform: Vec<f64> = vec![total / k as f64; k];
+            let v = expected_work_of_schedule(&dist, &aged, &uniform, spec.checkpoint);
+            assert!(
+                dp_value >= v - 1e-9 * dp_value.abs().max(1.0),
+                "uniform K={k} schedule beats DP: {v} > {dp_value}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_replans_after_failure() {
+        let spec = JobSpec::table1_single_processor();
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(Weibull::from_mtbf(0.7, DAY)),
+            DAY,
+            small_config(40),
+        );
+        let mut s = dp.session();
+        let fresh = AgeView::single(0.0);
+        let c1 = s.next_chunk(spec.work, &fresh, 0.0);
+        assert!(c1 > 0.0);
+        s.on_failure();
+        // After a failure the age is small again; a fresh plan is made
+        // (exercise the path; exact equality is not required).
+        let after = AgeView::single(spec.recovery);
+        let c2 = s.next_chunk(spec.work - c1, &after, 5_000.0);
+        assert!(c2 > 0.0);
+    }
+
+    #[test]
+    fn compression_exact_round_trips_ageview() {
+        let dist = Weibull::from_mtbf(0.7, 1000.0);
+        let view = AgeView::new(vec![(5.0, 2), (80.0, 1)], 7, 500.0);
+        let c = compress_ages(&view, &dist, StateCompression::Exact);
+        let total: f64 = c.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 10.0);
+        assert_eq!(c[0], (5.0, 2.0));
+        assert_eq!(c.last().copied(), Some((500.0, 7.0)));
+    }
+
+    #[test]
+    fn compression_keeps_smallest_exact() {
+        let dist = Weibull::from_mtbf(0.7, 1000.0);
+        let failed: Vec<(f64, u32)> = (0..50).map(|i| (10.0 + i as f64 * 7.0, 1)).collect();
+        let view = AgeView::new(failed, 1000, 5_000.0);
+        let c = compress_ages(
+            &view,
+            &dist,
+            StateCompression::Approximate { n_exact: 10, n_approx: 20 },
+        );
+        // The ten smallest ages survive exactly.
+        for i in 0..10 {
+            assert!(c.iter().any(|&(a, _)| (a - (10.0 + i as f64 * 7.0)).abs() < 1e-9));
+        }
+        // Total processor count is conserved.
+        let total: f64 = c.iter().map(|&(_, n)| n).sum();
+        assert!((total - 1050.0).abs() < 1e-9);
+        // And the state is genuinely compressed.
+        assert!(c.len() <= 10 + 20);
+    }
+
+    #[test]
+    fn compression_error_is_small_paper_claim() {
+        // §3.3: worst relative error of the approximated success
+        // probability below 0.2 % for chunks up to the platform MTBF.
+        let proc_mtbf = 125.0 * YEAR;
+        let dist = Weibull::from_mtbf(0.7, proc_mtbf);
+        let p = 45_208u64;
+        // A plausible mid-execution state: 40 failed processors.
+        let failed: Vec<(f64, u32)> =
+            (0..40).map(|i| ((i as f64 + 1.0) * 20_000.0, 1)).collect();
+        let view = AgeView::new(failed, p - 40, 2.0 * YEAR);
+        let exact = compress_ages(&view, &dist, StateCompression::Exact);
+        let approx = compress_ages(&view, &dist, StateCompression::paper());
+        let platform_mtbf = proc_mtbf / p as f64;
+        for i in 0..=6u32 {
+            let x = platform_mtbf / f64::from(1u32 << i);
+            let lp = |ages: &[(f64, f64)]| -> f64 {
+                ages.iter()
+                    .map(|&(tau, c)| {
+                        c * (dist.log_survival(tau + x) - dist.log_survival(tau))
+                    })
+                    .sum()
+            };
+            let pe = lp(&exact).exp();
+            let pa = lp(&approx).exp();
+            let rel = (pa - pe).abs() / pe;
+            assert!(rel < 2e-3, "chunk MTBF/2^{i}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn expected_work_monotone_in_success() {
+        // Sanity of the objective helper: a schedule with zero checkpoint
+        // cost completes more expected work than with a large one.
+        let dist = Exponential::from_mtbf(1000.0);
+        let ages = [(0.0, 1.0)];
+        let sched = [100.0, 100.0, 100.0];
+        let cheap = expected_work_of_schedule(&dist, &ages, &sched, 0.0);
+        let costly = expected_work_of_schedule(&dist, &ages, &sched, 300.0);
+        assert!(cheap > costly);
+    }
+}

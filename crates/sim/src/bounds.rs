@@ -1,0 +1,180 @@
+//! `LowerBound` — the omniscient algorithm of §4.1.
+//!
+//! Knowing every failure date in advance, it computes until exactly
+//! `C(p)` before each unavoidable failure, checkpoints just in time (losing
+//! no work, ever), then pays the downtime/recovery chain and resumes. Its
+//! makespan is an absolute lower bound on any policy's makespan for the
+//! same trace; it is unattainable in practice.
+
+use ckpt_platform::TraceSet;
+use ckpt_workload::JobSpec;
+
+use crate::stats::RunStats;
+
+/// Omniscient lower bound on the makespan achievable on this trace.
+pub fn lower_bound_makespan(spec: &JobSpec, traces: &TraceSet) -> RunStats {
+    let events = traces.platform_events();
+    let ev = events.as_slice();
+    let mut stats = RunStats::new();
+    let mut now = traces.start_time;
+    let mut remaining = spec.work;
+    let mut cursor = events.first_at_or_after(now);
+    // Track per-unit last failures only to honour the no-failure-during-
+    // own-downtime rule.
+    let mut last_failure: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let eps = spec.work * 1e-12;
+
+    while remaining > eps {
+        // Next effective failure.
+        let next = loop {
+            match ev.get(cursor) {
+                None => break None,
+                Some(&(t, u)) => match last_failure.get(&u) {
+                    Some(&lf) if t - lf < spec.downtime => cursor += 1,
+                    _ => break Some((t, u)),
+                },
+            }
+        };
+        match next {
+            // Everything fits before the next failure (one final
+            // just-in-time checkpoint included).
+            Some((tf, _)) if now + remaining + spec.checkpoint > tf => {
+                // Compute until C before the failure, checkpoint, lose
+                // nothing.
+                let window = (tf - now - spec.checkpoint).max(0.0);
+                let work = window.min(remaining);
+                remaining -= work;
+                stats.work_time += work;
+                if work > 0.0 {
+                    stats.checkpoint_time += spec.checkpoint;
+                    stats.chunks_completed += 1;
+                }
+                stats.failures += 1;
+                last_failure.insert(next.expect("some").1, tf);
+                cursor += 1;
+                // Downtime (with cascades) then one recovery; the oracle
+                // also foresees recovery failures and absorbs them.
+                now = tf;
+                let mut ready = now + spec.downtime;
+                loop {
+                    match ev.get(cursor) {
+                        Some(&(t, u)) if t < ready + spec.recovery => {
+                            cursor += 1;
+                            if let Some(&lf) = last_failure.get(&u) {
+                                if t - lf < spec.downtime {
+                                    continue;
+                                }
+                            }
+                            if t < ready {
+                                // Cascaded downtime.
+                                stats.failures += 1;
+                                last_failure.insert(u, t);
+                                ready = ready.max(t + spec.downtime);
+                            } else {
+                                // Failure during recovery: abort, extend.
+                                stats.failures += 1;
+                                stats.recovery_time += t - ready;
+                                last_failure.insert(u, t);
+                                ready = t + spec.downtime;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                stats.downtime_time += ready - now;
+                stats.recovery_time += spec.recovery;
+                now = ready + spec.recovery;
+            }
+            _ => {
+                // Failure-free to the end: finish with one checkpoint.
+                now += remaining + spec.checkpoint;
+                stats.work_time += remaining;
+                stats.checkpoint_time += spec.checkpoint;
+                stats.chunks_completed += 1;
+                remaining = 0.0;
+            }
+        }
+    }
+    stats.makespan = now - traces.start_time;
+    stats.past_horizon = now > traces.horizon;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_math::SeedSequence;
+    use ckpt_dist::Exponential;
+    use ckpt_platform::{FailureTrace, Topology};
+    use ckpt_policies::{FixedPeriod, Policy};
+
+    fn manual(failures: Vec<Vec<f64>>) -> TraceSet {
+        TraceSet {
+            units: failures.into_iter().map(|f| FailureTrace { failures: f }).collect(),
+            topology: Topology::per_processor(),
+            horizon: 1e12,
+            start_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn failure_free_bound_is_w_plus_c() {
+        let spec = JobSpec::sequential(1000.0, 10.0, 20.0, 5.0);
+        let st = lower_bound_makespan(&spec, &manual(vec![vec![]]));
+        assert!((st.makespan - 1010.0).abs() < 1e-9);
+        assert_eq!(st.failures, 0);
+    }
+
+    #[test]
+    fn one_failure_loses_nothing() {
+        // Failure at 400: work 390 + C 10 checkpointed just in time, then
+        // D 5 + R 20 (→ 425), then remaining 610 + C 10: total 1045.
+        let spec = JobSpec::sequential(1000.0, 10.0, 20.0, 5.0);
+        let st = lower_bound_makespan(&spec, &manual(vec![vec![400.0]]));
+        assert!((st.makespan - 1045.0).abs() < 1e-9, "got {}", st.makespan);
+        assert!((st.work_time - 1000.0).abs() < 1e-9);
+        assert_eq!(st.failures, 1);
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_policy() {
+        let spec = JobSpec::sequential(50_000.0, 60.0, 60.0, 10.0);
+        let dist = Exponential::from_mtbf(3_000.0);
+        for seed in 0..20u64 {
+            let traces = ckpt_platform::TraceSet::generate(
+                &dist,
+                1,
+                Topology::per_processor(),
+                1e8,
+                0.0,
+                SeedSequence::new(seed),
+            );
+            let lb = lower_bound_makespan(&spec, &traces).makespan;
+            for period in [500.0, 1_000.0, 2_000.0, 8_000.0] {
+                let policy = FixedPeriod::new("p", period);
+                let mut s = policy.session();
+                let st = crate::engine::simulate_traceset(
+                    &spec,
+                    &mut *s,
+                    &traces,
+                    crate::SimOptions::default(),
+                );
+                assert!(
+                    lb <= st.makespan + 1e-6,
+                    "seed {seed} period {period}: LB {lb} > policy {}",
+                    st.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_failures_still_terminate() {
+        // Failures every 50 s for a while, then quiet.
+        let fails: Vec<f64> = (1..200).map(|i| i as f64 * 50.0).collect();
+        let spec = JobSpec::sequential(5_000.0, 10.0, 20.0, 5.0);
+        let st = lower_bound_makespan(&spec, &manual(vec![fails]));
+        assert!(st.makespan.is_finite());
+        assert!((st.work_time - 5_000.0).abs() < 1e-6);
+    }
+}

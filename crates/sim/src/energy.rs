@@ -1,0 +1,103 @@
+//! Energy accounting — the §8 "makespan is not the only objective"
+//! extension.
+//!
+//! The paper's closing discussion singles out energy as the crucial
+//! companion objective for checkpointing strategies. The engine already
+//! attributes every second of a run to a phase (compute, checkpoint I/O,
+//! lost compute, downtime, recovery); a [`PowerModel`] converts that
+//! breakdown into platform energy, letting any experiment report joules
+//! next to seconds and exposing the makespan/energy trade-off (e.g. a
+//! longer period wastes more re-computation — high-power — while a
+//! shorter one spends more time in lower-power I/O).
+
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-processor power draw by execution phase, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// While computing (including compute later lost to a failure).
+    pub compute_w: f64,
+    /// While writing or reading a checkpoint (I/O-bound phases: the
+    /// checkpoint itself and recoveries).
+    pub io_w: f64,
+    /// While blocked (downtime cascades: processors idle).
+    pub idle_w: f64,
+}
+
+impl PowerModel {
+    /// A representative HPC node profile: ~200 W busy, ~120 W during I/O,
+    /// ~80 W idle.
+    pub fn typical_hpc() -> Self {
+        Self { compute_w: 200.0, io_w: 120.0, idle_w: 80.0 }
+    }
+
+    /// Total platform energy of a run, joules (`procs` processors drawing
+    /// phase power for the engine's accounted phase durations).
+    pub fn energy(&self, stats: &RunStats, procs: u64) -> f64 {
+        assert!(procs >= 1);
+        let per_proc = (stats.work_time + stats.lost_time) * self.compute_w
+            + (stats.checkpoint_time + stats.recovery_time) * self.io_w
+            + stats.downtime_time * self.idle_w;
+        per_proc * procs as f64
+    }
+
+    /// Energy-delay product, J·s — a standard single-figure trade-off
+    /// metric.
+    pub fn energy_delay_product(&self, stats: &RunStats, procs: u64) -> f64 {
+        self.energy(stats, procs) * stats.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        RunStats {
+            makespan: 100.0,
+            failures: 1,
+            work_time: 60.0,
+            checkpoint_time: 10.0,
+            lost_time: 15.0,
+            downtime_time: 5.0,
+            recovery_time: 10.0,
+            chunks_completed: 6,
+            chunk_min: 10.0,
+            chunk_max: 10.0,
+            past_horizon: false,
+        }
+    }
+
+    #[test]
+    fn energy_weights_phases() {
+        let m = PowerModel { compute_w: 100.0, io_w: 50.0, idle_w: 10.0 };
+        // (60+15)·100 + (10+10)·50 + 5·10 = 7500 + 1000 + 50 = 8550 J/proc.
+        assert!((m.energy(&stats(), 1) - 8_550.0).abs() < 1e-9);
+        assert!((m.energy(&stats(), 4) - 4.0 * 8_550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_multiplies_makespan() {
+        let m = PowerModel::typical_hpc();
+        let s = stats();
+        assert!((m.energy_delay_product(&s, 2) - m.energy(&s, 2) * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn typical_profile_ordering() {
+        let m = PowerModel::typical_hpc();
+        assert!(m.compute_w > m.io_w && m.io_w > m.idle_w);
+    }
+
+    #[test]
+    fn wasted_compute_costs_full_power() {
+        // Two runs with equal makespan: the one that lost more compute to
+        // failures burns more energy.
+        let m = PowerModel::typical_hpc();
+        let mut wasteful = stats();
+        wasteful.lost_time += 10.0;
+        wasteful.downtime_time -= 10.0;
+        assert!(m.energy(&wasteful, 1) > m.energy(&stats(), 1));
+    }
+}

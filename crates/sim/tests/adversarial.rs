@@ -1,0 +1,144 @@
+//! Adversarial failure-injection tests: exact boundary timings, simultaneous
+//! failures, degenerate jobs — the places discrete-event engines go wrong.
+
+use ckpt_platform::{FailureTrace, Topology, TraceSet};
+use ckpt_policies::{FixedPeriod, Policy};
+use ckpt_sim::{lower_bound_makespan, SimOptions};
+use ckpt_workload::JobSpec;
+
+fn traces(failures: Vec<Vec<f64>>, horizon: f64, start: f64) -> TraceSet {
+    TraceSet {
+        units: failures.into_iter().map(|f| FailureTrace { failures: f }).collect(),
+        topology: Topology::per_processor(),
+        horizon,
+        start_time: start,
+    }
+}
+
+fn run(spec: &JobSpec, ts: &TraceSet, period: f64) -> ckpt_sim::RunStats {
+    let policy = FixedPeriod::new("p", period);
+    let mut s = policy.session();
+    ckpt_sim::engine::simulate_traceset(spec, &mut *s, ts, SimOptions::default())
+}
+
+#[test]
+fn failure_exactly_at_checkpoint_commit_does_not_destroy_chunk() {
+    // Attempt spans [0, 260); a failure at exactly t = 260 strikes *after*
+    // the commit instant: the chunk survives.
+    let spec = JobSpec::sequential(500.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![260.0]], 1e9, 0.0);
+    let st = run(&spec, &ts, 250.0);
+    // Chunk 1 committed at 260; failure at 260 interrupts chunk 2 at its
+    // very start (0 s lost), D 5 + R 20, then 260 more: 260+25+260 = 545.
+    assert!((st.makespan - 545.0).abs() < 1e-9, "makespan {}", st.makespan);
+    assert_eq!(st.chunks_completed, 2);
+    assert!((st.lost_time - 0.0).abs() < 1e-9);
+}
+
+#[test]
+fn failure_at_instant_zero() {
+    let spec = JobSpec::sequential(100.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![0.0]], 1e9, 0.0);
+    let st = run(&spec, &ts, 100.0);
+    // Immediate failure: D 5 + R 20, then 110: total 135.
+    assert!((st.makespan - 135.0).abs() < 1e-9, "makespan {}", st.makespan);
+    assert_eq!(st.failures, 1);
+}
+
+#[test]
+fn simultaneous_failures_on_two_units() {
+    let spec = JobSpec { procs: 2, ..JobSpec::sequential(100.0, 10.0, 20.0, 5.0) };
+    let ts = traces(vec![vec![50.0], vec![50.0]], 1e9, 0.0);
+    let st = run(&spec, &ts, 100.0);
+    // Both failures counted; one downtime window (they coincide); one
+    // recovery; replay.
+    assert_eq!(st.failures, 2);
+    // 50 lost + 5 D + 20 R + 110 = 185.
+    assert!((st.makespan - 185.0).abs() < 1e-9, "makespan {}", st.makespan);
+}
+
+#[test]
+fn failure_exactly_at_recovery_end_does_not_abort_it() {
+    // Failure at 100 → D ends 105 → recovery [105, 125). A second failure
+    // at exactly 125 lands after the recovery completes: it interrupts the
+    // *chunk* instead (at 0 s in).
+    let spec = JobSpec::sequential(200.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![100.0, 125.0]], 1e9, 0.0);
+    let st = run(&spec, &ts, 200.0);
+    assert_eq!(st.failures, 2);
+    // 100 lost, +5 +20 → 125; failure at 125 (0 lost), +5 +20 → 150;
+    // then 210 → 360.
+    assert!((st.makespan - 360.0).abs() < 1e-9, "makespan {}", st.makespan);
+}
+
+#[test]
+fn tiny_job_single_chunk() {
+    let spec = JobSpec::sequential(1.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![]], 1e9, 0.0);
+    let st = run(&spec, &ts, 1e6);
+    assert!((st.makespan - 11.0).abs() < 1e-9);
+    assert_eq!(st.chunks_completed, 1);
+}
+
+#[test]
+fn job_start_offset_ages_respect_origin() {
+    // Job starts at t0 = 1000; a failure at 500 happened before the job:
+    // the engine must begin with that unit's failure "in the past".
+    let spec = JobSpec::sequential(300.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![500.0]], 1e9, 1_000.0);
+    let st = run(&spec, &ts, 300.0);
+    // No failure during the job window: clean run.
+    assert_eq!(st.failures, 0);
+    assert!((st.makespan - 310.0).abs() < 1e-9);
+}
+
+#[test]
+fn past_horizon_flag_set_when_running_beyond_traces() {
+    let spec = JobSpec::sequential(10_000.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![vec![50.0]], 100.0, 0.0);
+    let st = run(&spec, &ts, 1_000.0);
+    assert!(st.past_horizon);
+    assert!((st.work_time - 10_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn lower_bound_on_adversarial_trace_still_below_policy() {
+    // Failure storm with exact-boundary timings.
+    let fails: Vec<f64> = (1..40).map(|i| i as f64 * 137.0).collect();
+    let spec = JobSpec::sequential(3_000.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![fails], 1e9, 0.0);
+    let lb = lower_bound_makespan(&spec, &ts).makespan;
+    for period in [50.0, 100.0, 127.0, 500.0] {
+        let st = run(&spec, &ts, period);
+        assert!(lb <= st.makespan + 1e-6, "period {period}");
+    }
+}
+
+#[test]
+fn dense_cascade_terminates() {
+    // Failures every D/2 for a long stretch: downtime cascades must chain,
+    // then the engine recovers and completes.
+    let fails: Vec<f64> = (0..500).map(|i| 100.0 + i as f64 * 2.4).collect();
+    let spec = JobSpec::sequential(400.0, 10.0, 20.0, 5.0);
+    let ts = traces(vec![fails], 1e9, 0.0);
+    let st = run(&spec, &ts, 400.0);
+    assert!(st.makespan.is_finite());
+    assert!((st.work_time - 400.0).abs() < 1e-6);
+    // Own-downtime shadowing: consecutive failures of the same unit within
+    // D = 5 s are swallowed, so counted failures are roughly half.
+    assert!(st.failures < 400, "counted {}", st.failures);
+}
+
+#[test]
+fn two_units_alternating_cascade() {
+    // Units alternate failures 3 s apart (> no shadowing: different units)
+    // keeping the platform down for a long stretch.
+    let a: Vec<f64> = (0..50).map(|i| 100.0 + i as f64 * 6.0).collect();
+    let b: Vec<f64> = (0..50).map(|i| 103.0 + i as f64 * 6.0).collect();
+    let spec = JobSpec { procs: 2, ..JobSpec::sequential(200.0, 10.0, 20.0, 5.0) };
+    let ts = traces(vec![a, b], 1e9, 0.0);
+    let st = run(&spec, &ts, 200.0);
+    assert_eq!(st.failures, 100);
+    assert!(st.makespan.is_finite());
+    assert!((st.work_time - 200.0).abs() < 1e-6);
+}

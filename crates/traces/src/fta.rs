@@ -1,0 +1,154 @@
+//! Loader for real availability logs in a simple Failure-Trace-Archive
+//! style tabular format.
+//!
+//! The substitution logs in [`crate::synthetic`] are generated; this
+//! module lets a user with access to the actual archive (or any cluster's
+//! own failure records) drop in real data and run the identical pipeline.
+//!
+//! Accepted format — one event per line, whitespace- or comma-separated:
+//!
+//! ```text
+//! # node_id  event_start_time  event_end_time
+//! 17  1049620800  1049624400
+//! 17  1050001000  1050002000
+//! 23  1049700000  1049700060
+//! ```
+//!
+//! Each line records one *unavailability* event of a node (failure at
+//! `start`, repaired at `end`, epoch seconds). Availability intervals are
+//! the gaps between consecutive events of the same node (and the leading
+//! interval from the node's first observation). Lines starting with `#`
+//! and blank lines are ignored.
+
+use crate::log::AvailabilityLog;
+use std::collections::BTreeMap;
+
+/// Parse an FTA-style event table into an [`AvailabilityLog`].
+///
+/// `procs_per_node` tags the node granularity (4 for the LANL clusters).
+///
+/// # Errors
+/// Returns a line-numbered message on malformed input; an input with no
+/// derivable availability interval is also an error.
+pub fn parse_fta_events(input: &str, procs_per_node: u32) -> Result<AvailabilityLog, String> {
+    let mut events: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if fields.len() < 3 {
+            return Err(format!("line {}: expected `node start end`", lineno + 1));
+        }
+        let start: f64 = fields[1]
+            .parse()
+            .map_err(|e| format!("line {}: bad start time: {e}", lineno + 1))?;
+        let end: f64 = fields[2]
+            .parse()
+            .map_err(|e| format!("line {}: bad end time: {e}", lineno + 1))?;
+        if end < start {
+            return Err(format!("line {}: event ends before it starts", lineno + 1));
+        }
+        events.entry(fields[0].to_string()).or_default().push((start, end));
+    }
+    if events.is_empty() {
+        return Err("no events found".to_string());
+    }
+    let mut nodes = Vec::with_capacity(events.len());
+    for (_, mut evs) in events {
+        evs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let mut durations = Vec::new();
+        let mut up_since = evs.first().map(|&(s, _)| s).unwrap_or(0.0);
+        // Leading interval unknown — start counting from the first repair.
+        let mut first = true;
+        for (start, end) in evs {
+            if !first {
+                let d = start - up_since;
+                if d > 0.0 {
+                    durations.push(d);
+                }
+            }
+            first = false;
+            up_since = end;
+        }
+        nodes.push(durations);
+    }
+    let log = AvailabilityLog { nodes, procs_per_node, label: "fta".into() };
+    if log.interval_count() == 0 {
+        return Err("no availability intervals derivable (single-event nodes only)".into());
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# node start end
+a 100 150
+a 450 500
+a 900 910
+b 0 10
+b 1010 1030
+";
+
+    #[test]
+    fn parses_intervals_between_events() {
+        let log = parse_fta_events(SAMPLE, 4).expect("parse");
+        assert_eq!(log.node_count(), 2);
+        // Node a: 450−150 = 300, 900−500 = 400; node b: 1010−10 = 1000.
+        assert_eq!(log.interval_count(), 3);
+        let mut all: Vec<f64> = log.nodes.iter().flatten().copied().collect();
+        all.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        assert_eq!(all, vec![300.0, 400.0, 1000.0]);
+        assert_eq!(log.procs_per_node, 4);
+    }
+
+    #[test]
+    fn comma_separation_accepted() {
+        let log = parse_fta_events("n1,5,10\nn1,110,120\n", 1).expect("parse");
+        assert_eq!(log.interval_count(), 1);
+        assert_eq!(log.nodes[0], vec![100.0]);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let log = parse_fta_events("# hi\n\nx 1 2\nx 12 13\n", 1).expect("parse");
+        assert_eq!(log.interval_count(), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_located() {
+        let err = parse_fta_events("x 1 2\noops\n", 1).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn reversed_event_rejected() {
+        let err = parse_fta_events("x 10 5\n", 1).unwrap_err();
+        assert!(err.contains("ends before"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_fta_events("# nothing\n", 1).is_err());
+    }
+
+    #[test]
+    fn single_event_nodes_yield_no_intervals() {
+        assert!(parse_fta_events("x 1 2\ny 3 4\n", 1).is_err());
+    }
+
+    #[test]
+    fn pipeline_compatible_with_empirical() {
+        let log = parse_fta_events(SAMPLE, 4).expect("parse");
+        let d = log.empirical_distribution();
+        use ckpt_dist::FailureDistribution;
+        assert!((d.mean() - (300.0 + 400.0 + 1000.0) / 3.0).abs() < 1e-9);
+    }
+}

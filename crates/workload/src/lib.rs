@@ -1,0 +1,30 @@
+//! Parallel job and checkpoint-cost models (§3.1, Table 1).
+//!
+//! * [`ParallelismModel`] — how the failure-free execution time `W(p)`
+//!   scales with the processor count `p`: embarrassingly parallel, Amdahl,
+//!   or 2-D numerical kernel (ScaLAPACK-style matrix product / LU / QR).
+//! * [`OverheadModel`] — how the synchronized checkpoint/recovery cost
+//!   `C(p) = R(p)` scales: constant (resilient-storage-bound) or
+//!   proportional `∝ 1/p` (per-processor-link-bound).
+//! * [`JobSpec`] — the bundle of `W`, `p`, `C(p)`, `R(p)`, `D` a policy and
+//!   the simulator consume, with the paper's Table 1 presets.
+
+pub mod models;
+pub mod spec;
+
+pub use models::{IoBottleneck, OverheadModel, ParallelismModel};
+pub use spec::{JobSpec, PlatformClass};
+
+/// Seconds in a day — Table 1 quotes W in days.
+pub const DAY: f64 = 86_400.0;
+/// Seconds in a Julian year — MTBFs are quoted in years.
+pub const YEAR: f64 = 365.25 * DAY;
+/// Seconds in a week.
+pub const WEEK: f64 = 7.0 * DAY;
+/// Seconds in an hour.
+pub const HOUR: f64 = 3_600.0;
+
+/// Number of processors of the Jaguar reference platform (§4.2).
+pub const JAGUAR_PROCS: u64 = 45_208;
+/// Number of processors of the Exascale reference platform (2^20).
+pub const EXASCALE_PROCS: u64 = 1 << 20;

@@ -1,0 +1,70 @@
+//! The paper's §8 "future directions", run as experiments:
+//!
+//! 1. **Optimal processor count** — with failures, is the full platform
+//!    still the fastest configuration?
+//! 2. **Replication** — one job on `p` processors vs two replicas on
+//!    `p/2` each (independent, and synchronized after each checkpoint).
+//! 3. **Energy** — the makespan/energy trade-off of the checkpoint
+//!    period.
+//!
+//! ```text
+//! cargo run --release --example future_directions [-- <traces>]
+//! ```
+
+use checkpointing_strategies::prelude::*;
+use ckpt_core::exp::extensions;
+use ckpt_core::exp::{DistSpec, PolicyKind, Scenario};
+
+fn main() {
+    let traces: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("traces"))
+        .unwrap_or(10);
+
+    let weibull = DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR };
+
+    // 1. Optimal processor count.
+    println!("— Optimal processor count (Weibull k = 0.7, Young policy) —");
+    let procs: Vec<u64> = (9..=14).map(|e| 1u64 << e).collect();
+    let (series, best) = extensions::optimal_proc_count(
+        |p| Scenario::petascale(weibull.clone(), p, traces),
+        &PolicyKind::Young,
+        &procs,
+        traces,
+    );
+    for (p, mk) in &series {
+        let marker = if *p == best { "  ← argmin" } else { "" };
+        println!("  p = {p:>6}: mean makespan {:.2} days{marker}", mk / DAY);
+    }
+    println!("  (on a fault-free machine the argmin is always the largest p;");
+    println!("   failures can move it inward — §8)\n");
+
+    // 2. Replication.
+    println!("— Replication: one job on p vs two replicas on p/2 —");
+    let sc = Scenario::petascale(weibull.clone(), 1 << 12, traces);
+    let row = extensions::replication_study(&sc, traces);
+    println!("  single (p = {:>5})          : {:.2} days", sc.procs, row.single / DAY);
+    println!("  2× independent (p/2 each)   : {:.2} days", row.independent / DAY);
+    println!("  2× synchronized (p/2 each)  : {:.2} days", row.synchronized / DAY);
+    println!("  (synchronization recovers part of the replication loss)\n");
+
+    // 3. Energy.
+    println!("— Energy vs makespan across checkpoint periods —");
+    let power = PowerModel::typical_hpc();
+    let rows = extensions::energy_period_tradeoff(
+        &sc,
+        &power,
+        &[0.25, 0.5, 1.0, 2.0, 4.0],
+        traces,
+    );
+    println!("  {:>7}  {:>14}  {:>12}", "factor", "makespan (d)", "energy (MJ)");
+    for r in &rows {
+        println!(
+            "  {:>7.2}  {:>14.2}  {:>12.1}",
+            r.factor,
+            r.makespan / DAY,
+            r.energy / 1e6
+        );
+    }
+    println!("  (short periods spend energy on I/O, long ones on re-computation)");
+}

@@ -1,0 +1,57 @@
+//! Section 6 in miniature: checkpointing against *log-based* failures.
+//!
+//! ```text
+//! cargo run --release --example logbased_cluster [-- <procs> <traces>]
+//! ```
+//!
+//! Builds the synthetic LANL-cluster-19 availability log, constructs the
+//! paper's §4.3 empirical conditional distribution from it, and compares
+//! the MTBF-only heuristics with `DPNextFailure` on a platform of
+//! 4-processor nodes. On real-world-shaped (heavy-tailed, decreasing-
+//! hazard) failures the adaptive policy wins even against the numerically
+//! searched best periodic policy.
+
+use checkpointing_strategies::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let procs: u64 = args.next().map(|s| s.parse().expect("procs")).unwrap_or(1 << 12);
+    let traces: usize = args.next().map(|s| s.parse().expect("traces")).unwrap_or(12);
+
+    // The availability log and its empirical distribution.
+    let log = synthetic_lanl_cluster(19, SeedSequence::from_label("lanl-log-19"));
+    let dist = log.empirical_distribution();
+    println!("Synthetic LANL cluster 19 log:");
+    println!("  nodes: {} × {} processors", log.node_count(), log.procs_per_node);
+    println!("  availability intervals: {}", log.interval_count());
+    println!("  node MTBF: {:.1} days", log.empirical_mtbf() / DAY);
+    println!(
+        "  platform MTBF at p = 45,208: {:.0} s (paper: ≈1,297 s)",
+        log.empirical_mtbf() * 4.0 / 45_208.0
+    );
+    println!(
+        "  short-interval mass below 1 h: {:.1} %",
+        100.0 * (1.0 - dist.survival(HOUR))
+    );
+
+    // The Figure 7 comparison at one platform size.
+    let scenario = Scenario::petascale(DistSpec::LanlLog { cluster: 19 }, procs, traces);
+    println!(
+        "\nRunning the §6 roster on p = {procs} ({traces} traces; W(p) = {:.1} days)…\n",
+        scenario.job_spec().work / DAY
+    );
+    let kinds = PolicyKind::log_based_roster();
+    let result = run_scenario(&scenario, &kinds, &RunnerOptions::default());
+    println!("{}", ckpt_core::exp::output::markdown_table(&result));
+
+    let dp = result.get("DPNextFailure").expect("row");
+    let plb = result.get("PeriodLB").expect("row");
+    if let (Some(d), Some(p)) = (dp.avg_degradation, plb.avg_degradation) {
+        if d <= p {
+            println!("DPNextFailure ({d:.4}) beats even the searched PeriodLB ({p:.4}) —");
+            println!("periodic policies are inherently suboptimal on real logs (§6).");
+        } else {
+            println!("DPNextFailure {d:.4} vs PeriodLB {p:.4} on this sample.");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Explore how `DPNextFailure` adapts its chunk schedule — the paper's
+//! §5.2.2 observation ("DPNextFailure changes the size of inter-checkpoint
+//! intervals from 2,984 s up to 6,108 s") made inspectable.
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer
+//! ```
+//!
+//! Prints planned schedules for different Weibull shapes and platform
+//! ages, next to the periodic baselines, showing *why* the DP wins:
+//! fresh (high-hazard) platforms get short, careful chunks; aged
+//! platforms get long, confident ones; Exponential platforms get uniform
+//! ones.
+
+use checkpointing_strategies::prelude::*;
+
+fn show(label: &str, plan: &[f64]) {
+    let head: Vec<String> = plan.iter().take(8).map(|c| format!("{c:.0}")).collect();
+    let total: f64 = plan.iter().sum();
+    println!(
+        "  {label:<28} {} chunk(s), first 8: [{}] (covers {:.0} s)",
+        plan.len(),
+        head.join(", "),
+        total
+    );
+}
+
+fn main() {
+    let p = JAGUAR_PROCS;
+    let spec = JobSpec::table1_petascale(p);
+    let mtbf = 125.0 * YEAR;
+    println!(
+        "Jaguar-scale platform: p = {p}, W(p) = {:.1} days, C = {:.0} s, platform MTBF = {:.0} s",
+        spec.work / DAY,
+        spec.checkpoint,
+        mtbf / p as f64
+    );
+    println!(
+        "Periodic baselines: Young = {:.0} s, OptExp = {:.0} s\n",
+        young(&spec, mtbf).period(),
+        OptExp::from_mtbf(&spec, mtbf).period()
+    );
+
+    for shape in [1.0, 0.7, 0.5] {
+        println!("Weibull shape k = {shape}:");
+        let dp = DpNextFailure::new(
+            &spec,
+            Box::new(Weibull::from_mtbf(shape, mtbf)),
+            mtbf,
+            DpNextFailureConfig::default(),
+        );
+        // A platform fresh out of synchronized boot (the dangerous case
+        // for k < 1) vs one that has been up for a year.
+        let fresh = AgeView::all_pristine(p, 60.0);
+        let aged = AgeView::all_pristine(p, YEAR);
+        // And a realistic mixed state: 40 recently-failed processors.
+        let failed: Vec<(f64, u32)> = (0..40).map(|i| (1_260.0 + 7_200.0 * i as f64, 1)).collect();
+        let mixed = AgeView::new(failed, p - 40, YEAR);
+        show("fresh platform (age 60 s)", &dp.plan(spec.work, &fresh));
+        show("aged platform (age 1 y)", &dp.plan(spec.work, &aged));
+        show("40 recent failures", &dp.plan(spec.work, &mixed));
+        println!();
+    }
+
+    println!("Reading the schedules:");
+    println!("  k = 1.0 — memoryless: age is irrelevant, chunks uniform ≈ OptExp.");
+    println!("  k < 1   — fresh platforms fail soon: short first chunks; aged");
+    println!("            platforms are safe: chunks stretch (the non-periodic");
+    println!("            adaptation that periodic policies cannot express).");
+}

@@ -1,0 +1,10 @@
+//! Root crate of the checkpointing-strategies workspace.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; the library surface is simply the
+//! [`ckpt_core`] facade re-exported.
+
+pub use ckpt_core::*;
+
+/// Re-export of the one-import convenience module.
+pub use ckpt_core::prelude;
