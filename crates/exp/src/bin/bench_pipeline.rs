@@ -1,0 +1,112 @@
+//! End-to-end pipeline benchmark: the fixed Petascale Weibull cell used
+//! by `scripts/bench_pipeline.sh` to produce `BENCH_pipeline.json`.
+//!
+//! Usage: `bench_pipeline [--traces N] [--label NAME] [--out PATH]
+//! [--search full|coarse]`
+//!
+//! Runs the full scenario pipeline (trace generation → policy sims →
+//! PeriodLB search → aggregation) once, prints a human summary, and
+//! writes a JSON document with the per-stage timings and counters.
+
+use ckpt_exp::perf::format_f64;
+use ckpt_exp::policies_spec::PolicyKind;
+use ckpt_exp::runner::{run_scenario, PeriodSearch, RunnerOptions};
+use ckpt_exp::scenario::{DistSpec, Scenario};
+use std::time::Instant;
+
+const YEAR: f64 = 365.25 * 86_400.0;
+
+/// The fixed bench cell: Table 1 Petascale, Weibull(k = 0.7, μ = 125 y),
+/// 4096 processors — the same platform as the `policy_micro` benches.
+fn bench_scenario(traces: usize) -> Scenario {
+    Scenario::petascale(
+        DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
+        1 << 12,
+        traces,
+    )
+}
+
+fn main() {
+    let mut traces = 24usize;
+    let mut label = "run".to_string();
+    let mut out: Option<String> = None;
+    let mut search = PeriodSearch::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--traces" => {
+                traces = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--traces N");
+            }
+            "--label" => label = args.next().expect("--label NAME"),
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--search" => {
+                search = match args.next().as_deref() {
+                    Some("full") => PeriodSearch::Full,
+                    Some("coarse") => PeriodSearch::default(),
+                    other => panic!("--search full|coarse, got {other:?}"),
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenario = bench_scenario(traces);
+    let kinds = PolicyKind::paper_roster(false);
+    let mut options = RunnerOptions::default_with_paper_grid();
+    options.period_search = search;
+
+    eprintln!(
+        "bench_pipeline[{label}]: {} procs, {} traces, {} policies, {} period candidates",
+        scenario.procs,
+        scenario.traces,
+        kinds.len(),
+        options.period_lb.as_ref().map_or(0, Vec::len),
+    );
+
+    let t0 = Instant::now();
+    let result = run_scenario(&scenario, &kinds, &options);
+    let total = t0.elapsed().as_secs_f64();
+
+    eprintln!("bench_pipeline[{label}]: total {total:.3}s");
+    let perf = &result.perf;
+    for st in &perf.stages {
+        eprintln!("  stage {:<14} {:>9.3}s  ({} items)", st.name, st.seconds, st.items);
+    }
+    eprintln!(
+        "  sims: {} policy + {} candidate (grid {}), {} decisions, {} failures",
+        perf.policy_sims,
+        perf.candidate_sims,
+        perf.candidate_grid_size,
+        perf.decisions,
+        perf.failures
+    );
+
+    // JSON document: run metadata + measured pipeline perf.
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!("  \"label\": \"{}\",\n", serde_json::escape_str(&label)));
+    doc.push_str(&format!(
+        "  \"cell\": {{\"scenario\": \"{}\", \"procs\": {}, \"traces\": {}, \"policies\": {}, \"period_grid\": {}}},\n",
+        serde_json::escape_str(&scenario.label),
+        scenario.procs,
+        scenario.traces,
+        kinds.len(),
+        options.period_lb.as_ref().map_or(0, Vec::len),
+    ));
+    doc.push_str(&format!("  \"total_seconds\": {},\n", format_f64(total)));
+    doc.push_str(&format!("  \"pipeline\": {}\n", perf.to_json()));
+    doc.push_str("}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench_pipeline[{label}]: wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared trace/event cache.
+//!
+//! Trace generation is deterministic in `(scenario label, unit count,
+//! horizon, start time, trace index)`, so the same `TraceSet` and its
+//! merged `PlatformEvents` are recomputed identically every time an
+//! experiment revisits a cell — e.g. the period-variation sweeps call
+//! `run_scenario` once per factor on the *same* traces. This module
+//! memoises both behind `Arc`s: one generation, shared by every policy,
+//! every period candidate, and every subsequent `run_scenario` call in
+//! the process.
+
+use crate::scenario::{BuiltDist, Scenario};
+use ckpt_platform::{PlatformEvents, TraceSet};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One generated trace set with its pre-merged platform event stream.
+#[derive(Debug)]
+pub struct CachedTrace {
+    /// The per-unit failure traces.
+    pub traces: Arc<TraceSet>,
+    /// The merged, time-ordered platform event stream.
+    pub events: Arc<PlatformEvents>,
+}
+
+impl CachedTrace {
+    /// Processors per failure unit (node granularity).
+    pub fn procs_per_unit(&self) -> u32 {
+        self.traces.topology.procs_per_unit() as u32
+    }
+}
+
+/// Everything trace generation depends on, bit-exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    label: String,
+    units: usize,
+    horizon_bits: u64,
+    start_bits: u64,
+    index: u64,
+}
+
+/// Process-wide memo of generated traces.
+#[derive(Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<CacheKey, Arc<CachedTrace>>>,
+}
+
+impl TraceCache {
+    /// The process-wide cache instance.
+    pub fn global() -> &'static TraceCache {
+        static CACHE: OnceLock<TraceCache> = OnceLock::new();
+        CACHE.get_or_init(TraceCache::default)
+    }
+
+    /// The `index`-th trace set of `scenario`, generated at most once per
+    /// process.
+    pub fn get_or_generate(
+        &self,
+        scenario: &Scenario,
+        built: &BuiltDist,
+        index: usize,
+    ) -> Arc<CachedTrace> {
+        let key = CacheKey {
+            label: scenario.label.clone(),
+            units: built.topology.units_for_procs(scenario.procs),
+            horizon_bits: scenario.horizon.to_bits(),
+            start_bits: scenario.start_time.to_bits(),
+            index: index as u64,
+        };
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock: generation is deterministic, so a
+        // racing thread computing the same key produces the same value
+        // and first-insert-wins keeps sharing maximal.
+        let traces = Arc::new(scenario.generate_traces(built, index));
+        let events = Arc::new(traces.platform_events());
+        let entry = Arc::new(CachedTrace { traces, events });
+        let mut map = self.map.lock().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert(entry))
+    }
+
+    /// Number of cached trace sets.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached trace (frees memory between unrelated sweeps).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DistSpec;
+
+    fn tiny() -> (Scenario, BuiltDist) {
+        let dist = DistSpec::Exponential { mtbf: 3_600.0 };
+        let mut s = Scenario::single_processor(dist.clone(), 2);
+        s.label = "cache-test-cell".into();
+        s.horizon = 100_000.0;
+        let b = dist.build();
+        (s, b)
+    }
+
+    #[test]
+    fn same_key_shares_the_allocation() {
+        let cache = TraceCache::default();
+        let (s, b) = tiny();
+        let a = cache.get_or_generate(&s, &b, 0);
+        let c = cache.get_or_generate(&s, &b, 0);
+        assert!(Arc::ptr_eq(&a, &c), "second lookup must be a cache hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_indices_and_cells_do_not_collide() {
+        let cache = TraceCache::default();
+        let (s, b) = tiny();
+        let a = cache.get_or_generate(&s, &b, 0);
+        let c = cache.get_or_generate(&s, &b, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let mut s2 = s.clone();
+        s2.horizon *= 2.0;
+        let d = cache.get_or_generate(&s2, &b, 0);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_traces_match_direct_generation() {
+        let (s, b) = tiny();
+        let direct = s.generate_traces(&b, 0);
+        let cached = TraceCache::default().get_or_generate(&s, &b, 0);
+        assert_eq!(direct.units, cached.traces.units);
+        assert_eq!(direct.platform_events().len(), cached.events.len());
+    }
+}

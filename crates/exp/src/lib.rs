@@ -21,15 +21,21 @@
 //! ckpt-exp matrix --dist weibull --overhead prop --model amdahl-1e-4
 //! ```
 
+pub mod cache;
 pub mod experiments;
 pub mod extensions;
 pub mod output;
+pub mod perf;
 pub mod plot;
 pub mod policies_spec;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use cache::TraceCache;
+pub use perf::PipelinePerf;
 pub use policies_spec::PolicyKind;
-pub use runner::{run_scenario, PolicyOutcome, RunnerOptions, ScenarioResult};
+pub use runner::{
+    run_scenario, PeriodSearch, PolicyOutcome, RunnerOptions, ScenarioResult,
+};
 pub use scenario::{DistSpec, Scenario};

@@ -104,6 +104,7 @@ mod tests {
                     mean_failures: Some(3.4),
                     max_failures: Some(7),
                     chunk_range: Some((100.0, 200.0)),
+                    period_factor: None,
                     error: None,
                 },
                 PolicyOutcome {
@@ -114,10 +115,12 @@ mod tests {
                     mean_failures: None,
                     max_failures: None,
                     chunk_range: None,
+                    period_factor: None,
                     error: Some("interval < C".into()),
                 },
             ],
             period_lb_factor: None,
+            perf: crate::perf::PipelinePerf::default(),
         }
     }
 

@@ -1,0 +1,151 @@
+//! Lightweight pipeline instrumentation: per-stage wall-clock and
+//! decision/event counters for the scenario runner, plus the JSON
+//! emitter behind `scripts/bench_pipeline.sh` / `BENCH_pipeline.json`.
+//!
+//! The counters are plain `u64`s accumulated single-threadedly per trace
+//! row and summed at aggregation time, so instrumentation adds no
+//! synchronisation to the hot path.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock and volume of one pipeline stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct StagePerf {
+    /// Stage name (`trace_gen`, `policy_sims`, `period_search`, `aggregate`).
+    pub name: String,
+    /// Wall-clock seconds spent in the stage.
+    pub seconds: f64,
+    /// Stage-specific volume: traces generated, simulations run, rows
+    /// aggregated.
+    pub items: u64,
+}
+
+/// Instrumentation for one `run_scenario` call.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PipelinePerf {
+    /// End-to-end seconds for the scenario.
+    pub total_seconds: f64,
+    /// Per-stage breakdown, in execution order.
+    pub stages: Vec<StagePerf>,
+    /// Simulations run for the policy roster.
+    pub policy_sims: u64,
+    /// Simulations run for PeriodLB period candidates.
+    pub candidate_sims: u64,
+    /// Size of the full candidate grid (so `candidate_sims` can be read
+    /// as a fraction of `grid × traces`).
+    pub candidate_grid_size: u64,
+    /// Decision points across all simulations (chunks attempted).
+    pub decisions: u64,
+    /// Failures struck across all simulations.
+    pub failures: u64,
+}
+
+impl PipelinePerf {
+    /// Record a stage's duration and volume.
+    pub fn push_stage(&mut self, name: &str, started: Instant, items: u64) {
+        self.stages.push(StagePerf {
+            name: name.to_string(),
+            seconds: started.elapsed().as_secs_f64(),
+            items,
+        });
+    }
+
+    /// Seconds spent in a named stage (0 when absent).
+    pub fn stage_seconds(&self, name: &str) -> f64 {
+        self.stages.iter().filter(|s| s.name == name).map(|s| s.seconds).sum()
+    }
+
+    /// The JSON object body (no surrounding document) for this run.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_kv(&mut s, "total_seconds", &format_f64(self.total_seconds));
+        s.push_str(", \"stages\": [");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('{');
+            push_kv(&mut s, "name", &format!("\"{}\"", serde_json::escape_str(&st.name)));
+            s.push_str(", ");
+            push_kv(&mut s, "seconds", &format_f64(st.seconds));
+            s.push_str(", ");
+            push_kv(&mut s, "items", &st.items.to_string());
+            s.push('}');
+        }
+        s.push_str("], ");
+        push_kv(&mut s, "policy_sims", &self.policy_sims.to_string());
+        s.push_str(", ");
+        push_kv(&mut s, "candidate_sims", &self.candidate_sims.to_string());
+        s.push_str(", ");
+        push_kv(&mut s, "candidate_grid_size", &self.candidate_grid_size.to_string());
+        s.push_str(", ");
+        push_kv(&mut s, "decisions", &self.decisions.to_string());
+        s.push_str(", ");
+        push_kv(&mut s, "failures", &self.failures.to_string());
+        s.push('}');
+        s
+    }
+}
+
+fn push_kv(buf: &mut String, key: &str, value: &str) {
+    buf.push('"');
+    buf.push_str(key);
+    buf.push_str("\": ");
+    buf.push_str(value);
+}
+
+/// JSON-safe float formatting (finite shortest-roundtrip; JSON has no
+/// Infinity/NaN, map them to null).
+pub fn format_f64(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let mut p = PipelinePerf::default();
+        let t = Instant::now();
+        p.push_stage("trace_gen", t, 6);
+        p.total_seconds = 1.5;
+        p.policy_sims = 42;
+        let j = p.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"total_seconds\": 1.5"));
+        assert!(j.contains("\"name\": \"trace_gen\""));
+        assert!(j.contains("\"policy_sims\": 42"));
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        assert_eq!(format_f64(2.0), "2.0");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn stage_seconds_sums_by_name() {
+        let mut p = PipelinePerf::default();
+        let t = Instant::now();
+        p.push_stage("a", t, 1);
+        p.push_stage("a", t, 1);
+        p.push_stage("b", t, 1);
+        assert!(p.stage_seconds("a") >= 0.0);
+        assert_eq!(p.stage_seconds("missing"), 0.0);
+        assert_eq!(p.stages.len(), 3);
+    }
+}

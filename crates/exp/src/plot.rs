@@ -138,10 +138,12 @@ mod tests {
                     mean_failures: None,
                     max_failures: None,
                     chunk_range: None,
+                    period_factor: None,
                     error: None,
                 })
                 .collect(),
             period_lb_factor: None,
+            perf: crate::perf::PipelinePerf::default(),
         }
     }
 

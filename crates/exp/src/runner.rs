@@ -1,6 +1,10 @@
-//! Scenario runner: rayon fan-out, PeriodLB search, LowerBound, and the
-//! §4.1 average-makespan-degradation metric.
+//! Scenario runner: staged pipeline (trace cache → policy sims →
+//! PeriodLB search → aggregation) with rayon fan-out, the omniscient
+//! LowerBound, the §4.1 average-makespan-degradation metric, and
+//! per-stage perf instrumentation.
 
+use crate::cache::{CachedTrace, TraceCache};
+use crate::perf::PipelinePerf;
 use crate::policies_spec::PolicyKind;
 use crate::scenario::Scenario;
 use ckpt_math::Summary;
@@ -8,6 +12,34 @@ use ckpt_policies::Policy;
 use ckpt_sim::{lower_bound_makespan, SimOptions};
 use rayon::prelude::*;
 use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How `PeriodLB` explores its candidate factor grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeriodSearch {
+    /// Simulate every candidate on every trace (the paper's exhaustive
+    /// sweep).
+    Full,
+    /// Coarse-to-fine: simulate every `coarse_step`-th candidate of the
+    /// sorted grid (plus the factor nearest 1.0 and both endpoints),
+    /// then refine exhaustively between the coarse neighbours of the
+    /// incumbent. Cuts candidate simulations ~5–8× on the paper's
+    /// 481-factor grid; exact whenever the mean-makespan profile is
+    /// unimodal at the coarse resolution.
+    CoarseToFine {
+        /// Stride of the coarse pass over the sorted grid (≥ 2).
+        coarse_step: usize,
+        /// Grids up to this size are searched exhaustively.
+        min_full: usize,
+    },
+}
+
+impl Default for PeriodSearch {
+    fn default() -> Self {
+        Self::CoarseToFine { coarse_step: 8, min_full: 24 }
+    }
+}
 
 /// Runner knobs.
 #[derive(Debug, Clone)]
@@ -17,6 +49,8 @@ pub struct RunnerOptions {
     /// Include the `PeriodLB` numeric search; the value is the period
     /// factor grid applied to the OptExp period.
     pub period_lb: Option<Vec<f64>>,
+    /// Grid exploration strategy for `PeriodLB`.
+    pub period_search: PeriodSearch,
     /// Engine safety options.
     pub sim: SimOptions,
 }
@@ -26,20 +60,41 @@ impl Default for RunnerOptions {
         Self {
             lower_bound: true,
             period_lb: Some(default_period_grid()),
+            period_search: PeriodSearch::default(),
             sim: SimOptions::default(),
         }
     }
 }
 
+impl RunnerOptions {
+    /// Defaults, but with the paper's §4.1 period grid.
+    pub fn default_with_paper_grid() -> Self {
+        Self { period_lb: Some(paper_period_grid()), ..Self::default() }
+    }
+}
+
+/// Sort ascending and drop duplicates (relative tolerance 1e-9 — the
+/// paper's grid reaches the same factor along both of its arms, e.g.
+/// `1.1 = 1 + 0.05·2`).
+fn dedupe_sorted(mut grid: Vec<f64>) -> Vec<f64> {
+    grid.retain(|f| f.is_finite() && *f > 0.0);
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite factors"));
+    grid.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * b.abs());
+    grid
+}
+
 /// The default `PeriodLB` candidate grid: factors `2^{j/8}` for
 /// `j ∈ [−24, 24]` — a coarser but equally wide net than the paper's
 /// `(1 ± 0.05i, 1.1^j)` grid (which [`paper_period_grid`] reproduces).
+/// Sorted ascending, duplicate-free.
 pub fn default_period_grid() -> Vec<f64> {
-    (-24..=24).map(|j| 2f64.powf(j as f64 / 8.0)).collect()
+    dedupe_sorted((-24..=24).map(|j| 2f64.powf(j as f64 / 8.0)).collect())
 }
 
 /// The paper's §4.1 grid: `×/÷ (1 + 0.05·i)` for `i ∈ 1..=180` and
-/// `×/÷ 1.1^j` for `j ∈ 1..=60` (481 candidates with the identity).
+/// `×/÷ 1.1^j` for `j ∈ 1..=60`, plus the identity. Sorted ascending
+/// with the overlapping factors deduplicated (479 candidates; the raw
+/// union counts 481 with `1.1 = 1 + 0.05·2` twice on both arms).
 pub fn paper_period_grid() -> Vec<f64> {
     let mut g = vec![1.0];
     for i in 1..=180 {
@@ -52,7 +107,7 @@ pub fn paper_period_grid() -> Vec<f64> {
         g.push(f);
         g.push(1.0 / f);
     }
-    g
+    dedupe_sorted(g)
 }
 
 /// Result row for one policy in one scenario.
@@ -73,8 +128,26 @@ pub struct PolicyOutcome {
     pub max_failures: Option<u64>,
     /// Smallest / largest chunk attempted across all runs.
     pub chunk_range: Option<(f64, f64)>,
+    /// For `PeriodLB`: the winning factor over the OptExp period.
+    pub period_factor: Option<f64>,
     /// Why the policy is absent, when it is.
     pub error: Option<String>,
+}
+
+impl PolicyOutcome {
+    fn absent(name: &str, error: String) -> Self {
+        Self {
+            name: name.to_string(),
+            avg_degradation: None,
+            std_degradation: None,
+            mean_makespan: None,
+            mean_failures: None,
+            max_failures: None,
+            chunk_range: None,
+            period_factor: None,
+            error: Some(error),
+        }
+    }
 }
 
 /// All rows of one scenario plus metadata.
@@ -90,6 +163,8 @@ pub struct ScenarioResult {
     pub outcomes: Vec<PolicyOutcome>,
     /// The `PeriodLB` winning factor (over the OptExp period), if searched.
     pub period_lb_factor: Option<f64>,
+    /// Pipeline instrumentation for this call.
+    pub perf: PipelinePerf,
 }
 
 impl ScenarioResult {
@@ -99,49 +174,69 @@ impl ScenarioResult {
     }
 }
 
+/// Per-trace simulation results for the policy roster.
+struct PolicyRow {
+    makespans: Vec<Option<(f64, u64, f64, f64)>>, // (makespan, failures, cmin, cmax)
+    lower_bound: Option<f64>,
+    decisions: u64,
+    failures: u64,
+}
+
+/// Outcome of the PeriodLB search.
+struct PeriodSearchResult {
+    /// Winning factor.
+    factor: f64,
+    /// Winning candidate's per-trace makespans.
+    column: Vec<f64>,
+    /// Candidate simulations actually run.
+    sims: u64,
+    decisions: u64,
+    failures: u64,
+}
+
 /// Run `kinds` (plus optional LowerBound / PeriodLB) on a scenario.
 ///
 /// Degradation from best (§4.1): for each trace `i`,
 /// `v(i,j) = res(i,j) / min_{j' ≠ LowerBound} res(i,j')`, averaged over
 /// traces. `PeriodLB` participates in the minimum; `LowerBound` does not.
+/// Traces where *no* policy produced a makespan are excluded from the
+/// averages; if that leaves nothing, each row reports an error instead
+/// of panicking.
 pub fn run_scenario(
     scenario: &Scenario,
     kinds: &[PolicyKind],
     options: &RunnerOptions,
 ) -> ScenarioResult {
+    let t_total = Instant::now();
+    let mut perf = PipelinePerf::default();
     let built = scenario.dist.build();
     let spec = scenario.job_spec();
 
+    // Stage 1: trace generation (process-wide cache, shared via Arc).
+    let t_stage = Instant::now();
+    let cache = TraceCache::global();
+    let cached: Vec<Arc<CachedTrace>> = (0..scenario.traces)
+        .into_par_iter()
+        .map(|idx| cache.get_or_generate(scenario, &built, idx))
+        .collect();
+    perf.push_stage("trace_gen", t_stage, scenario.traces as u64);
+
     // Instantiate policies once; sessions are per-trace.
-    let mut policies: Vec<(String, Result<Box<dyn Policy>, String>)> = kinds
+    type BuiltPolicy = (String, Result<Box<dyn Policy>, String>);
+    let policies: Vec<BuiltPolicy> = kinds
         .iter()
         .map(|k| (k.name(), k.build(scenario, &built)))
         .collect();
 
-    // PeriodLB candidates share OptExp's base period.
-    let period_candidates: Vec<Box<dyn Policy>> = match &options.period_lb {
-        Some(grid) => {
-            let base = ckpt_policies::OptExp::from_mtbf(&spec, built.proc_mtbf);
-            grid.iter()
-                .map(|&f| Box::new(base.as_fixed_period().scaled(f)) as Box<dyn Policy>)
-                .collect()
-        }
-        None => Vec::new(),
-    };
-
-    struct TraceRow {
-        makespans: Vec<Option<(f64, u64, f64, f64)>>, // (makespan, failures, cmin, cmax)
-        candidates: Vec<f64>,
-        lower_bound: Option<f64>,
-    }
-
-    let rows: Vec<TraceRow> = (0..scenario.traces)
-        .into_par_iter()
-        .map(|idx| {
-            let traces = scenario.generate_traces(&built, idx);
-            let events = traces.platform_events();
-            let ppu = traces.topology.procs_per_unit() as u32;
+    // Stage 2: policy roster simulations (plus LowerBound).
+    let t_stage = Instant::now();
+    let rows: Vec<PolicyRow> = cached
+        .par_iter()
+        .map(|ct| {
+            let ppu = ct.procs_per_unit();
             let mut makespans = Vec::with_capacity(policies.len());
+            let mut decisions = 0u64;
+            let mut failures = 0u64;
             for (_, built_policy) in &policies {
                 match built_policy {
                     Ok(p) => {
@@ -149,121 +244,139 @@ pub fn run_scenario(
                         let st = ckpt_sim::simulate(
                             &spec,
                             &mut *session,
-                            &events,
+                            &ct.events,
                             ppu,
-                            traces.start_time,
-                            traces.horizon,
+                            ct.traces.start_time,
+                            ct.traces.horizon,
                             options.sim,
                         );
+                        decisions += st.decisions;
+                        failures += st.failures;
                         makespans.push(Some((st.makespan, st.failures, st.chunk_min, st.chunk_max)));
                     }
                     Err(_) => makespans.push(None),
                 }
             }
-            let candidates = period_candidates
-                .iter()
-                .map(|p| {
-                    let mut session = p.session();
-                    ckpt_sim::simulate(
-                        &spec,
-                        &mut *session,
-                        &events,
-                        ppu,
-                        traces.start_time,
-                        traces.horizon,
-                        options.sim,
-                    )
-                    .makespan
-                })
-                .collect();
             let lower_bound = options
                 .lower_bound
-                .then(|| lower_bound_makespan(&spec, &traces).makespan);
-            TraceRow { makespans, candidates, lower_bound }
+                .then(|| lower_bound_makespan(&spec, &ct.traces).makespan);
+            PolicyRow { makespans, lower_bound, decisions, failures }
         })
         .collect();
+    let ran_policies = policies.iter().filter(|(_, b)| b.is_ok()).count() as u64;
+    perf.policy_sims = ran_policies * scenario.traces as u64;
+    perf.decisions += rows.iter().map(|r| r.decisions).sum::<u64>();
+    perf.failures += rows.iter().map(|r| r.failures).sum::<u64>();
+    perf.push_stage("policy_sims", t_stage, perf.policy_sims);
 
-    // PeriodLB: best average candidate.
-    let (period_lb_col, period_lb_factor) = if period_candidates.is_empty() {
-        (None, None)
-    } else {
-        let n = period_candidates.len();
-        let mut means = vec![0.0f64; n];
-        for row in &rows {
-            for (m, &v) in means.iter_mut().zip(&row.candidates) {
-                *m += v;
-            }
+    // Stage 3: PeriodLB candidate search.
+    let t_stage = Instant::now();
+    let search = options.period_lb.as_ref().and_then(|grid| {
+        let grid = dedupe_sorted(grid.clone());
+        if grid.is_empty() {
+            return None;
         }
-        let best = (0..n)
-            .min_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("no NaN"))
-            .expect("non-empty");
-        let col: Vec<f64> = rows.iter().map(|r| r.candidates[best]).collect();
-        let factor = options.period_lb.as_ref().expect("grid present")[best];
-        (Some(col), Some(factor))
-    };
+        perf.candidate_grid_size = grid.len() as u64;
+        Some(search_period_grid(&spec, &built, &cached, &grid, options))
+    });
+    if let Some(s) = &search {
+        perf.candidate_sims = s.sims;
+        perf.decisions += s.decisions;
+        perf.failures += s.failures;
+    }
+    perf.push_stage("period_search", t_stage, perf.candidate_sims);
 
-    // Per-trace best over heuristics (incl. PeriodLB, excl. LowerBound).
-    let trace_best: Vec<f64> = (0..scenario.traces)
+    // Stage 4: aggregation — §4.1 degradation metric over the per-trace
+    // best heuristic (incl. PeriodLB, excl. LowerBound).
+    let t_stage = Instant::now();
+    let trace_best: Vec<Option<f64>> = (0..scenario.traces)
         .map(|i| {
             let mut best = f64::INFINITY;
             for m in rows[i].makespans.iter().flatten() {
                 best = best.min(m.0);
             }
-            if let Some(col) = &period_lb_col {
-                best = best.min(col[i]);
+            if let Some(s) = &search {
+                best = best.min(s.column[i]);
             }
-            assert!(best.is_finite(), "no policy produced a makespan for trace {i}");
-            best
+            best.is_finite().then_some(best)
         })
         .collect();
+    let no_baseline =
+        || "no policy produced a makespan on any trace (degradation undefined)".to_string();
 
     let mut outcomes = Vec::new();
     if options.lower_bound {
-        let degr: Vec<f64> = rows
+        let samples: Vec<(f64, f64)> = rows
             .iter()
             .zip(&trace_best)
-            .map(|(r, &b)| r.lower_bound.expect("lower bound enabled") / b)
+            .filter_map(|(r, b)| {
+                let lb = r.lower_bound.expect("lower bound enabled");
+                b.map(|b| (lb, lb / b))
+            })
             .collect();
-        let mks: Vec<f64> = rows.iter().map(|r| r.lower_bound.expect("enabled")).collect();
-        let s = Summary::from_samples(&degr);
-        outcomes.push(PolicyOutcome {
-            name: "LowerBound".into(),
-            avg_degradation: Some(s.mean()),
-            std_degradation: Some(s.std_dev()),
-            mean_makespan: Some(Summary::from_samples(&mks).mean()),
-            mean_failures: None,
-            max_failures: None,
-            chunk_range: None,
-            error: None,
-        });
+        if samples.is_empty() {
+            outcomes.push(PolicyOutcome::absent("LowerBound", no_baseline()));
+        } else {
+            let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
+            let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let s = Summary::from_samples(&degr);
+            outcomes.push(PolicyOutcome {
+                name: "LowerBound".into(),
+                avg_degradation: Some(s.mean()),
+                std_degradation: Some(s.std_dev()),
+                mean_makespan: Some(Summary::from_samples(&mks).mean()),
+                mean_failures: None,
+                max_failures: None,
+                chunk_range: None,
+                period_factor: None,
+                error: None,
+            });
+        }
     }
-    if let (Some(col), Some(factor)) = (&period_lb_col, period_lb_factor) {
-        let degr: Vec<f64> = col.iter().zip(&trace_best).map(|(&m, &b)| m / b).collect();
-        let s = Summary::from_samples(&degr);
-        outcomes.push(PolicyOutcome {
-            name: "PeriodLB".into(),
-            avg_degradation: Some(s.mean()),
-            std_degradation: Some(s.std_dev()),
-            mean_makespan: Some(Summary::from_samples(col).mean()),
-            mean_failures: None,
-            max_failures: None,
-            chunk_range: None,
-            error: None,
-        });
-        let _ = factor;
+    let period_lb_factor = search.as_ref().map(|s| s.factor);
+    if let Some(sr) = &search {
+        let samples: Vec<(f64, f64)> = sr
+            .column
+            .iter()
+            .zip(&trace_best)
+            .filter_map(|(&m, b)| b.map(|b| (m, m / b)))
+            .collect();
+        if samples.is_empty() {
+            outcomes.push(PolicyOutcome::absent("PeriodLB", no_baseline()));
+        } else {
+            let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
+            let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let s = Summary::from_samples(&degr);
+            outcomes.push(PolicyOutcome {
+                name: "PeriodLB".into(),
+                avg_degradation: Some(s.mean()),
+                std_degradation: Some(s.std_dev()),
+                mean_makespan: Some(Summary::from_samples(&mks).mean()),
+                mean_failures: None,
+                max_failures: None,
+                chunk_range: None,
+                period_factor: Some(sr.factor),
+                error: None,
+            });
+        }
     }
-    for (j, (name, built_policy)) in policies.iter_mut().enumerate() {
+    for (j, (name, built_policy)) in policies.iter().enumerate() {
         match built_policy {
             Ok(_) => {
                 let per_trace: Vec<(f64, u64, f64, f64)> =
                     rows.iter().map(|r| r.makespans[j].expect("ran")).collect();
-                let degr: Vec<f64> = per_trace
+                let samples: Vec<(f64, f64)> = per_trace
                     .iter()
                     .zip(&trace_best)
-                    .map(|(m, &b)| m.0 / b)
+                    .filter_map(|(m, b)| b.map(|b| (m.0, m.0 / b)))
                     .collect();
+                if samples.is_empty() {
+                    outcomes.push(PolicyOutcome::absent(name, no_baseline()));
+                    continue;
+                }
+                let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
+                let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
                 let s = Summary::from_samples(&degr);
-                let mks: Vec<f64> = per_trace.iter().map(|m| m.0).collect();
                 let fails: Vec<f64> = per_trace.iter().map(|m| m.1 as f64).collect();
                 let cmin = per_trace.iter().map(|m| m.2).fold(f64::INFINITY, f64::min);
                 let cmax = per_trace.iter().map(|m| m.3).fold(0.0f64, f64::max);
@@ -275,21 +388,15 @@ pub fn run_scenario(
                     mean_failures: Some(Summary::from_samples(&fails).mean()),
                     max_failures: per_trace.iter().map(|m| m.1).max(),
                     chunk_range: Some((cmin, cmax)),
+                    period_factor: None,
                     error: None,
                 });
             }
-            Err(e) => outcomes.push(PolicyOutcome {
-                name: name.clone(),
-                avg_degradation: None,
-                std_degradation: None,
-                mean_makespan: None,
-                mean_failures: None,
-                max_failures: None,
-                chunk_range: None,
-                error: Some(e.clone()),
-            }),
+            Err(e) => outcomes.push(PolicyOutcome::absent(name, e.clone())),
         }
     }
+    perf.push_stage("aggregate", t_stage, outcomes.len() as u64);
+    perf.total_seconds = t_total.elapsed().as_secs_f64();
 
     ScenarioResult {
         label: scenario.label.clone(),
@@ -297,7 +404,131 @@ pub fn run_scenario(
         traces: scenario.traces,
         outcomes,
         period_lb_factor,
+        perf,
     }
+}
+
+/// Simulate `factor × OptExp period` on every trace; returns the
+/// per-trace makespans plus decision/failure counts.
+fn simulate_candidate(
+    spec: &ckpt_workload::JobSpec,
+    base: &ckpt_policies::OptExp,
+    factor: f64,
+    cached: &[Arc<CachedTrace>],
+    options: &RunnerOptions,
+) -> (Vec<f64>, u64, u64) {
+    let policy = base.as_fixed_period().scaled(factor);
+    let stats: Vec<_> = cached
+        .par_iter()
+        .map(|ct| {
+            let mut session = policy.session();
+            let st = ckpt_sim::simulate(
+                spec,
+                &mut *session,
+                &ct.events,
+                ct.procs_per_unit(),
+                ct.traces.start_time,
+                ct.traces.horizon,
+                options.sim,
+            );
+            (st.makespan, st.decisions, st.failures)
+        })
+        .collect();
+    let decisions = stats.iter().map(|s| s.1).sum();
+    let failures = stats.iter().map(|s| s.2).sum();
+    (stats.into_iter().map(|s| s.0).collect(), decisions, failures)
+}
+
+/// Explore the (sorted, deduped) factor grid per `options.period_search`
+/// and return the winner by mean makespan. Ties break toward the
+/// smaller factor (deterministic regardless of exploration order).
+fn search_period_grid(
+    spec: &ckpt_workload::JobSpec,
+    built: &crate::scenario::BuiltDist,
+    cached: &[Arc<CachedTrace>],
+    grid: &[f64],
+    options: &RunnerOptions,
+) -> PeriodSearchResult {
+    let base = ckpt_policies::OptExp::from_mtbf(spec, built.proc_mtbf);
+    let mut columns: Vec<Option<(Vec<f64>, f64)>> = vec![None; grid.len()]; // (makespans, mean)
+    let mut decisions = 0u64;
+    let mut failures = 0u64;
+    let mut sims = 0u64;
+    let evaluate = |i: usize,
+                        columns: &mut Vec<Option<(Vec<f64>, f64)>>,
+                        decisions: &mut u64,
+                        failures: &mut u64,
+                        sims: &mut u64| {
+        if columns[i].is_none() {
+            let (col, d, f) = simulate_candidate(spec, &base, grid[i], cached, options);
+            *sims += col.len() as u64;
+            *decisions += d;
+            *failures += f;
+            let mean = col.iter().sum::<f64>() / col.len().max(1) as f64;
+            columns[i] = Some((col, mean));
+        }
+    };
+
+    let coarse: Vec<usize> = match options.period_search {
+        PeriodSearch::Full => (0..grid.len()).collect(),
+        PeriodSearch::CoarseToFine { coarse_step, min_full } => {
+            if grid.len() <= min_full.max(1) {
+                (0..grid.len()).collect()
+            } else {
+                let step = coarse_step.max(2);
+                let mut idx: Vec<usize> = (0..grid.len()).step_by(step).collect();
+                idx.push(grid.len() - 1);
+                // Always anchor at the factor nearest 1.0 (OptExp itself).
+                let anchor = (0..grid.len())
+                    .min_by(|&a, &b| {
+                        (grid[a] - 1.0)
+                            .abs()
+                            .partial_cmp(&(grid[b] - 1.0).abs())
+                            .expect("finite")
+                    })
+                    .expect("non-empty grid");
+                idx.push(anchor);
+                idx.sort_unstable();
+                idx.dedup();
+                idx
+            }
+        }
+    };
+    for &i in &coarse {
+        evaluate(i, &mut columns, &mut decisions, &mut failures, &mut sims);
+    }
+    let best_of = |columns: &Vec<Option<(Vec<f64>, f64)>>| -> usize {
+        let mut best = usize::MAX;
+        let mut best_mean = f64::INFINITY;
+        for (i, c) in columns.iter().enumerate() {
+            if let Some((_, mean)) = c {
+                if *mean < best_mean {
+                    best_mean = *mean;
+                    best = i;
+                }
+            }
+        }
+        best
+    };
+
+    if let PeriodSearch::CoarseToFine { coarse_step, min_full } = options.period_search {
+        if grid.len() > min_full.max(1) {
+            let step = coarse_step.max(2);
+            // Refine exhaustively between the coarse neighbours of the
+            // incumbent (they bracket the optimum when the mean profile
+            // is unimodal at coarse resolution).
+            let incumbent = best_of(&columns);
+            let lo = incumbent.saturating_sub(step - 1);
+            let hi = (incumbent + step).min(grid.len());
+            for i in lo..hi {
+                evaluate(i, &mut columns, &mut decisions, &mut failures, &mut sims);
+            }
+        }
+    }
+
+    let winner = best_of(&columns);
+    let (column, _) = columns[winner].take().expect("winner evaluated");
+    PeriodSearchResult { factor: grid[winner], column, sims, decisions, failures }
 }
 
 #[cfg(test)]
@@ -319,6 +550,7 @@ mod tests {
         RunnerOptions {
             lower_bound: true,
             period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
             sim: SimOptions::default(),
         }
     }
@@ -352,6 +584,16 @@ mod tests {
     }
 
     #[test]
+    fn period_lb_row_reports_winning_factor() {
+        let sc = tiny_scenario();
+        let r = run_scenario(&sc, &[PolicyKind::OptExp], &fast_options());
+        let row_factor = r.get("PeriodLB").expect("row").period_factor;
+        assert_eq!(row_factor, r.period_lb_factor);
+        let f = row_factor.expect("searched");
+        assert!([0.5, 1.0, 2.0].contains(&f), "factor {f} from the grid");
+    }
+
+    #[test]
     fn failed_policy_reports_error_row() {
         // Liu's nonsensical-interval case: large platform, small shape.
         let year = 365.25 * 86_400.0;
@@ -373,6 +615,29 @@ mod tests {
     }
 
     #[test]
+    fn all_policies_failing_yields_error_rows_not_panic() {
+        // Only Liu, which cannot build at this shape/scale: every trace
+        // has no baseline, and every row (incl. LowerBound) must report
+        // an error instead of panicking.
+        let year = 365.25 * 86_400.0;
+        let mut sc = Scenario::petascale(
+            DistSpec::Weibull { shape: 0.3, mtbf: 125.0 * year },
+            4_096,
+            2,
+        );
+        sc.label = "all-fail-weibull".into();
+        let r = run_scenario(&sc, &[PolicyKind::Liu], &RunnerOptions {
+            period_lb: None,
+            ..fast_options()
+        });
+        assert_eq!(r.outcomes.len(), 2); // LowerBound + Liu
+        let lb = r.get("LowerBound").expect("row");
+        assert!(lb.error.is_some(), "LowerBound must degrade gracefully");
+        assert!(lb.avg_degradation.is_none());
+        assert!(r.get("Liu").expect("row").error.is_some());
+    }
+
+    #[test]
     fn results_are_deterministic() {
         let sc = tiny_scenario();
         let kinds = [PolicyKind::Young];
@@ -382,5 +647,86 @@ mod tests {
             a.get("Young").expect("row").mean_makespan,
             b.get("Young").expect("row").mean_makespan
         );
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // The pipeline must be bit-identical regardless of rayon
+        // parallelism: per-trace work is independent and reduction order
+        // is fixed by trace index.
+        let sc = tiny_scenario();
+        let kinds = [PolicyKind::Young, PolicyKind::OptExp];
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| run_scenario(&sc, &kinds, &fast_options()))
+        };
+        let one = run_with(1);
+        let many = run_with(4);
+        assert_eq!(one.period_lb_factor, many.period_lb_factor);
+        for (a, b) in one.outcomes.iter().zip(&many.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
+            assert_eq!(a.avg_degradation, b.avg_degradation, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn grids_are_sorted_and_deduped() {
+        for grid in [default_period_grid(), paper_period_grid()] {
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1], "sorted strictly: {} vs {}", w[0], w[1]);
+            }
+        }
+        // The raw paper grid contains 1.1 and 1/1.1 on both arms; after
+        // dedup the count drops from 481 to 479.
+        assert_eq!(paper_period_grid().len(), 479);
+        assert!(paper_period_grid().contains(&1.0));
+    }
+
+    #[test]
+    fn coarse_to_fine_matches_full_search_and_cuts_sims() {
+        let sc = tiny_scenario();
+        let grid = paper_period_grid();
+        let full = run_scenario(&sc, &[], &RunnerOptions {
+            lower_bound: false,
+            period_lb: Some(grid.clone()),
+            period_search: PeriodSearch::Full,
+            sim: SimOptions::default(),
+        });
+        let coarse = run_scenario(&sc, &[], &RunnerOptions {
+            lower_bound: false,
+            period_lb: Some(grid.clone()),
+            period_search: PeriodSearch::default(),
+            sim: SimOptions::default(),
+        });
+        let full_sims = full.perf.candidate_sims;
+        let coarse_sims = coarse.perf.candidate_sims;
+        assert_eq!(full_sims, (grid.len() * sc.traces) as u64);
+        assert!(
+            coarse_sims * 5 <= full_sims,
+            "coarse-to-fine used {coarse_sims} of {full_sims} sims (> 1/5)"
+        );
+        let full_mean = full.get("PeriodLB").expect("row").mean_makespan.expect("ran");
+        let coarse_mean = coarse.get("PeriodLB").expect("row").mean_makespan.expect("ran");
+        assert!(
+            (coarse_mean - full_mean).abs() <= 1e-3 * full_mean,
+            "coarse-to-fine mean {coarse_mean} deviates from full-grid {full_mean}"
+        );
+    }
+
+    #[test]
+    fn perf_counters_are_populated() {
+        let sc = tiny_scenario();
+        let r = run_scenario(&sc, &[PolicyKind::Young], &fast_options());
+        assert!(r.perf.total_seconds > 0.0);
+        let names: Vec<&str> = r.perf.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["trace_gen", "policy_sims", "period_search", "aggregate"]);
+        assert_eq!(r.perf.policy_sims, sc.traces as u64);
+        assert_eq!(r.perf.candidate_sims, (3 * sc.traces) as u64);
+        assert_eq!(r.perf.candidate_grid_size, 3);
+        assert!(r.perf.decisions > 0);
     }
 }

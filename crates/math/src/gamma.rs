@@ -6,7 +6,10 @@
 //! extension distributions.
 
 /// Lanczos coefficients (g = 7, n = 9), giving ~15 significant digits.
+/// Kept at published precision even where it exceeds f64 (rounding is the
+/// compiler's job, not the transcriber's).
 const LANCZOS_G: f64 = 7.0;
+#[allow(clippy::excessive_precision)]
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,

@@ -60,7 +60,35 @@ pub fn spares_for_quantile(mean: f64, downtime: f64, p: u64, window: f64, q: f64
     assert!((0.0..1.0).contains(&q), "q ∈ [0, 1)");
     assert!(window >= 0.0);
     let lambda = platform_failure_rate(mean, downtime, p) * window;
-    // Smallest k with P(N ≤ k) ≥ q, N ~ Poisson(λ).
+    poisson_quantile(lambda, q)
+}
+
+/// Spares covering the q-quantile of failures among `p` iid units over
+/// the absolute window `[t0, t1]`, each unit pristine at time 0: Poisson
+/// bound with `λ = p·(m(t1) − m(t0))` from the renewal function. Unlike
+/// [`spares_for_quantile`]'s steady-state `p/(μ+d)` rate, this stays
+/// valid for Weibull shapes `k < 1`, whose early hazard exceeds `1/μ`
+/// and front-loads failures well above the exponential-rate estimate.
+/// Downtime is ignored (instant replacement), which only raises the
+/// failure count — the bound stays on the safe side.
+pub fn spares_for_quantile_renewal(
+    dist: &dyn FailureDistribution,
+    p: u64,
+    t0: f64,
+    t1: f64,
+    q: f64,
+) -> u64 {
+    assert!((0.0..1.0).contains(&q), "q ∈ [0, 1)");
+    assert!(0.0 <= t0 && t0 <= t1, "window [{t0}, {t1}] must be ordered");
+    let grid = 400;
+    let lambda = p as f64 * (expected_failures(dist, t1, grid) - expected_failures(dist, t0, grid));
+    poisson_quantile(lambda.max(0.0), q)
+}
+
+/// Smallest `k` with `P(N ≤ k) ≥ q` for `N ~ Poisson(λ)`.
+pub fn poisson_quantile(lambda: f64, q: f64) -> u64 {
+    assert!((0.0..1.0).contains(&q), "q ∈ [0, 1)");
+    assert!(lambda >= 0.0);
     let mut cumulative = (-lambda).exp();
     let mut term = cumulative;
     let mut k = 0u64;
@@ -144,5 +172,26 @@ mod tests {
         let a = spares_for_quantile(1_000.0, 0.0, 100, 100.0, 0.5);
         let b = spares_for_quantile(1_000.0, 0.0, 100, 100.0, 0.999);
         assert!(b >= a);
+    }
+
+    #[test]
+    fn renewal_spares_match_exponential_rate() {
+        // For Exponential units m(t) = t/μ, so the renewal-aware bound
+        // coincides with the steady-state one at zero downtime.
+        let d = Exponential::from_mtbf(10_000.0);
+        let a = spares_for_quantile_renewal(&d, 200, 0.0, 500.0, 0.999);
+        let b = spares_for_quantile(10_000.0, 0.0, 200, 500.0, 0.999);
+        assert!((a as i64 - b as i64).abs() <= 1, "renewal {a} vs steady-state {b}");
+    }
+
+    #[test]
+    fn renewal_spares_exceed_exponential_rate_for_young_weibull() {
+        // k < 1 front-loads failures: starting from pristine units the
+        // renewal-aware spare count must dominate the exponential-rate one.
+        let year = 365.25 * 86_400.0;
+        let d = Weibull::from_mtbf(0.7, 125.0 * year);
+        let a = spares_for_quantile_renewal(&d, 1 << 10, 0.0, 2.0 * year, 0.9999);
+        let b = spares_for_quantile(125.0 * year, 60.0, 1 << 10, 2.0 * year, 0.9999);
+        assert!(a > b, "renewal-aware {a} should exceed exponential-rate {b}");
     }
 }

@@ -36,7 +36,7 @@ impl FailureTrace {
         let mut t = 0.0;
         loop {
             t += dist.sample(&mut rng);
-            if !(t < horizon) {
+            if t >= horizon || t.is_nan() {
                 break;
             }
             failures.push(t);
@@ -128,7 +128,10 @@ impl TraceSet {
             .flat_map(|(u, tr)| tr.failures.iter().map(move |&t| (t, u as u32)))
             .collect();
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
-        PlatformEvents { events }
+        PlatformEvents {
+            times: events.iter().map(|&(t, _)| t).collect(),
+            units: events.iter().map(|&(_, u)| u).collect(),
+        }
     }
 
     /// Empirical platform MTBF over `[start_time, horizon)` — used to
@@ -147,36 +150,51 @@ impl TraceSet {
     }
 }
 
-/// Time-sorted `(date, unit)` failure events for one platform trace.
+/// Time-sorted failure events for one platform trace, stored as a
+/// structure of arrays: the simulator's hot path scans dates only (to find
+/// the next failure past a time), so keeping dates densely packed halves
+/// the bytes touched per probe versus a `Vec<(f64, u32)>`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlatformEvents {
-    events: Vec<(f64, u32)>,
+    times: Vec<f64>,
+    units: Vec<u32>,
 }
 
 impl PlatformEvents {
-    /// All events in time order.
-    pub fn as_slice(&self) -> &[(f64, u32)] {
-        &self.events
+    /// Event dates in ascending order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Failing unit of each event, parallel to [`Self::times`].
+    pub fn units(&self) -> &[u32] {
+        &self.units
+    }
+
+    /// The `i`-th event as a `(date, unit)` pair.
+    pub fn get(&self, i: usize) -> (f64, u32) {
+        (self.times[i], self.units[i])
     }
 
     /// Number of failures in the stream.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.times.len()
     }
 
     /// Whether the platform never fails within the horizon.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.times.is_empty()
     }
 
     /// Index of the first event at or after time `t`.
     pub fn first_at_or_after(&self, t: f64) -> usize {
-        self.events.partition_point(|&(d, _)| d < t)
+        self.times.partition_point(|&d| d < t)
     }
 
     /// The first `(date, unit)` failure at or after `t`, if any.
     pub fn next_failure(&self, t: f64) -> Option<(f64, u32)> {
-        self.events.get(self.first_at_or_after(t)).copied()
+        let i = self.first_at_or_after(t);
+        (i < self.times.len()).then(|| self.get(i))
     }
 }
 
@@ -237,8 +255,9 @@ mod tests {
         let ev = set.platform_events();
         let total: usize = set.units.iter().map(|t| t.failures.len()).sum();
         assert_eq!(ev.len(), total);
-        for w in ev.as_slice().windows(2) {
-            assert!(w[0].0 <= w[1].0);
+        assert_eq!(ev.times().len(), ev.units().len());
+        for w in ev.times().windows(2) {
+            assert!(w[0] <= w[1]);
         }
     }
 

@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Tunables of the Makespan DP.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DpMakespanConfig {
     /// Number of quanta the job's work is divided into (`u = W / quanta`).
     /// `None` sizes the quantum from the distribution's mean so the
@@ -43,12 +43,6 @@ pub struct DpMakespanConfig {
     /// Collapse the age dimension (valid — and fast — for memoryless
     /// distributions, where `Psuc` and `E[Tlost]` ignore `τ`).
     pub assume_memoryless: bool,
-}
-
-impl Default for DpMakespanConfig {
-    fn default() -> Self {
-        Self { quanta: None, assume_memoryless: false }
-    }
 }
 
 /// Auto-sized quantum count for the Makespan DP: `≈ 6·W/√(2CM)` (six
@@ -78,7 +72,12 @@ pub struct DpMakespan {
     loss: LossTable,
     /// Post-failure backbone `V(x, R)` and its chunk choice, indexed by x.
     backbone: Vec<(f64, u32)>,
-    /// Lazy memo for general states, keyed by `(x, τ/u rounded)`.
+    /// Memoryless fast path: with the age dimension collapsed, `V` depends
+    /// on `x` alone, so the whole table is one dense vector filled
+    /// bottom-up at construction — no mutex, no hashing per decision.
+    flat: Vec<(f64, u32)>,
+    /// Lazy memo for general (age-dependent) states, keyed by
+    /// `(x, τ/u rounded)`.
     memo: Mutex<HashMap<(u32, u64), (f64, u32)>>,
 }
 
@@ -148,6 +147,7 @@ impl DpMakespan {
             e_rec,
             loss,
             backbone: Vec::new(),
+            flat: Vec::new(),
             memo: Mutex::new(HashMap::new()),
         };
         this.compute_backbone();
@@ -178,7 +178,11 @@ impl DpMakespan {
         let n = self.quanta();
         let r = self.spec.recovery;
         let c = self.spec.checkpoint;
+        let memoryless = self.config.assume_memoryless;
         self.backbone.push((0.0, 0));
+        if memoryless {
+            self.flat.push((0.0, 0));
+        }
         for x in 1..=n {
             let mut best = f64::INFINITY;
             let mut best_i = 1u32;
@@ -190,6 +194,8 @@ impl DpMakespan {
                 }
                 let succ = if x - i == 0 {
                     0.0
+                } else if memoryless {
+                    self.flat[x - i].0
                 } else {
                     self.value_bounded(x - i, r + attempt, x)
                 };
@@ -202,6 +208,26 @@ impl DpMakespan {
                 }
             }
             self.backbone.push((best, best_i));
+            if memoryless {
+                // With age collapsed, the general Bellman step at `x` reads
+                // only `flat[< x]` and `backbone[x]` — both in place, so the
+                // dense table fills in the same ascending pass.
+                let fail_v = best;
+                let mut bv = f64::INFINITY;
+                let mut bi = 1u32;
+                for i in 1..=x {
+                    let attempt = i as f64 * self.u + c;
+                    let psuc = self.psuc(attempt, 0.0);
+                    let succ = if x - i == 0 { 0.0 } else { self.flat[x - i].0 };
+                    let lost = self.tlost(attempt, 0.0);
+                    let cur = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec + fail_v);
+                    if cur < bv {
+                        bv = cur;
+                        bi = i as u32;
+                    }
+                }
+                self.flat.push((bv, bi));
+            }
         }
     }
 
@@ -251,6 +277,10 @@ impl DpMakespan {
     fn state(&self, x: usize, tau: f64) -> (f64, u32) {
         if x == 0 {
             return (0.0, 0);
+        }
+        // Memoryless: the dense bottom-up table answers directly.
+        if let Some(&s) = self.flat.get(x) {
+            return s;
         }
         // Post-failure states hit the backbone exactly.
         if !self.config.assume_memoryless && (tau - self.spec.recovery).abs() < 1e-9 {
@@ -442,6 +472,27 @@ mod tests {
                 x + 1
             );
         }
+    }
+
+    #[test]
+    fn memoryless_flat_table_is_self_consistent() {
+        // Under memorylessness the post-failure state and the fresh state
+        // coincide, so the dense table must agree with the backbone's
+        // per-chunk fixed points at every x.
+        let (_, dp) = exp_dp(HOUR, 80);
+        assert_eq!(dp.flat.len(), 81);
+        for x in 1..=80 {
+            let (v, i) = dp.flat[x];
+            let b = dp.backbone[x].0;
+            assert!(
+                (v - b).abs() <= 1e-9 * b,
+                "x={x}: flat {v} vs backbone {b}"
+            );
+            assert!(i >= 1 && i as usize <= x);
+        }
+        // And the public accessors route through it regardless of τ.
+        assert_eq!(dp.value(40, 0.0), dp.flat[40].0);
+        assert_eq!(dp.value(40, 12345.0), dp.flat[40].0);
     }
 
     #[test]

@@ -133,6 +133,8 @@ pub struct DpNextFailure {
     /// identical fingerprints (the age is `D + R` plus small cascades), so
     /// the hit rate is high even for age-dependent distributions.
     cache: parking_lot::Mutex<HashMap<PlanKey, std::sync::Arc<Vec<f64>>>>,
+    plans_total: std::sync::atomic::AtomicU64,
+    plans_cold: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for DpNextFailure {
@@ -174,6 +176,8 @@ impl DpNextFailure {
             config,
             x_max,
             cache: parking_lot::Mutex::new(HashMap::new()),
+            plans_total: std::sync::atomic::AtomicU64::new(0),
+            plans_cold: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -182,8 +186,21 @@ impl DpNextFailure {
         self.x_max
     }
 
+    /// `(total plan calls, cache misses)` since construction — cheap
+    /// relaxed counters for perf diagnostics.
+    pub fn plan_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.plans_total.load(Relaxed), self.plans_cold.load(Relaxed))
+    }
+
     /// Plan a chunk schedule for `remaining` work given the age snapshot.
     /// Public so the solver can be unit-tested and benchmarked directly.
+    ///
+    /// The plan is computed from the *quantised* state (ages mapped onto a
+    /// geometric bucket grid, [`quantise_age`]) and memoised under that
+    /// key, so any execution order reproduces the identical plan for the
+    /// same key — replans after a failure or at schedule exhaustion mostly
+    /// hit the cache instead of re-running the `O(x_max²)` solve.
     pub fn plan(&self, remaining: f64, ages: &AgeView) -> Vec<f64> {
         let window = planning_window(
             self.spec.checkpoint,
@@ -195,20 +212,39 @@ impl DpNextFailure {
         let x_max = self.x_max;
         let u = w_full / x_max as f64;
         let compressed = compress_ages(ages, self.dist.as_ref(), self.config.compression);
-        // Cache lookup on the quantised state.
-        let key: PlanKey = (
-            (w_full / u).round() as u64,
-            compressed
-                .iter()
-                .map(|&(a, c)| ((a / u).round() as u64, c.round() as u64))
-                .collect(),
-        );
+        // Quantised state: bucket ids on the geometric age grid, counts
+        // merged per bucket. The work key scales with the truncated work
+        // (`x_max` when the full window applies, proportionally smaller in
+        // the endgame) so unequal-work states can never collide.
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(compressed.len());
+        for &(age, count) in &compressed {
+            let id = quantise_age(age, u);
+            let count = count.round() as u64;
+            if count == 0 {
+                continue;
+            }
+            match buckets.last_mut() {
+                Some(last) if last.0 == id => last.1 += count,
+                _ => buckets.push((id, count)),
+            }
+        }
+        let key: PlanKey = ((w_full * x_max as f64 / window).round() as u64, buckets);
+        self.plans_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(hit) = self.cache.lock().get(&key) {
             return hit.as_ref().clone();
         }
+        self.plans_cold.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Solve on the representative state reconstructed from the key —
+        // a pure function of the key, so concurrent sessions agree on the
+        // cached plan no matter which one computes it first.
+        let representative: Vec<(f64, f64)> = key
+            .1
+            .iter()
+            .map(|&(id, count)| (representative_age(id, u), count as f64))
+            .collect();
         let chunks = solve(
             self.dist.as_ref(),
-            &compressed,
+            &representative,
             x_max,
             u,
             self.spec.checkpoint,
@@ -227,6 +263,22 @@ impl DpNextFailure {
         }
         chunks
     }
+}
+
+/// Buckets per doubling of `1 + age/u` on the geometric age grid.
+const AGE_BUCKETS_PER_OCTAVE: f64 = 32.0;
+
+/// Map an age onto the geometric bucket grid: sub-quantum ages resolve at
+/// ~`u/32` (the post-failure states the hazard is most sensitive to),
+/// ages of many quanta at ~2% relative — about the fidelity the §3.3
+/// reference-value compression keeps anyway.
+fn quantise_age(age: f64, u: f64) -> u64 {
+    (AGE_BUCKETS_PER_OCTAVE * (1.0 + age / u).log2()).round() as u64
+}
+
+/// Centre age of a bucket — the representative the plan is computed from.
+fn representative_age(id: u64, u: f64) -> f64 {
+    u * ((id as f64 / AGE_BUCKETS_PER_OCTAVE).exp2() - 1.0)
 }
 
 impl Policy for DpNextFailure {
@@ -361,6 +413,101 @@ fn bucket_onto(ages: &[(f64, f64)], refs: &[f64]) -> Vec<(f64, f64)> {
     refs.iter().copied().zip(counts).filter(|&(_, c)| c > 0.0).collect()
 }
 
+/// Ages at least this many grid time-spans old are folded into the
+/// combined Chebyshev interpolant instead of being evaluated exactly at
+/// every grid cell — see [`FarFit`].
+const FAR_AGE_SPANS: f64 = 4.0;
+
+/// Chebyshev-Gauss interpolation points (degree `CHEB_POINTS − 1`).
+const CHEB_POINTS: usize = 8;
+
+/// Combined log-survival of all "far" age groups, `Σⱼ cⱼ·ln S(τⱼ + t)`,
+/// as one degree-7 Chebyshev interpolant over `t ∈ [0, t_span]`.
+///
+/// For `τ ≥ 4·t_span` the nearest singularity of `ln S(τ + ·)` (at
+/// `t = −τ`) is far outside the Bernstein ellipse of the fit interval, so
+/// the interpolation error is below ~1e-9 of the per-processor
+/// log-survival — orders of magnitude under the §3.3 state-compression
+/// error the policy already tolerates. For Exponential failures `ln S` is
+/// linear in `t` and the fit is exact. Summing the node values *before*
+/// taking coefficients collapses any number of far groups into a single
+/// polynomial, making the grid fill O(near ages + 1) per cell.
+struct FarFit {
+    coef: [f64; CHEB_POINTS],
+    t_span: f64,
+}
+
+impl FarFit {
+    /// Fit the combined far-age log-survival. Returns `None` when no age
+    /// qualifies (all near, or a node value is non-finite). `near`
+    /// receives the entries that must stay exact.
+    fn build(
+        dist: &dyn FailureDistribution,
+        ages: &[(f64, f64)],
+        t_span: f64,
+        near: &mut Vec<(f64, f64)>,
+    ) -> Option<FarFit> {
+        let n = CHEB_POINTS;
+        // Chebyshev-Gauss nodes mapped onto [0, t_span].
+        let mut nodes = [0.0f64; CHEB_POINTS];
+        for (k, node) in nodes.iter_mut().enumerate() {
+            let theta = std::f64::consts::PI * (k as f64 + 0.5) / n as f64;
+            *node = 0.5 * t_span * (1.0 + theta.cos());
+        }
+        let mut sums = [0.0f64; CHEB_POINTS];
+        let mut have_far = false;
+        for &(tau, c) in ages {
+            if tau < FAR_AGE_SPANS * t_span {
+                near.push((tau, c));
+                continue;
+            }
+            let mut vals = [0.0f64; CHEB_POINTS];
+            let mut finite = true;
+            for (v, &t) in vals.iter_mut().zip(&nodes) {
+                *v = dist.log_survival(tau + t);
+                finite &= v.is_finite();
+            }
+            if !finite {
+                near.push((tau, c));
+                continue;
+            }
+            for (s, v) in sums.iter_mut().zip(&vals) {
+                *s += c * v;
+            }
+            have_far = true;
+        }
+        if !have_far {
+            return None;
+        }
+        // coef[j] = (2 − δⱼ₀)/n · Σₖ f(tₖ)·cos(j·θₖ).
+        let mut coef = [0.0f64; CHEB_POINTS];
+        for (j, cj) in coef.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &fk) in sums.iter().enumerate() {
+                let theta = std::f64::consts::PI * (k as f64 + 0.5) / n as f64;
+                acc += fk * (j as f64 * theta).cos();
+            }
+            *cj = acc * if j == 0 { 1.0 } else { 2.0 } / n as f64;
+        }
+        Some(FarFit { coef, t_span })
+    }
+
+    /// Clenshaw evaluation at `t ∈ [0, t_span]`.
+    #[inline]
+    fn eval(&self, t: f64) -> f64 {
+        let s = 2.0 * t / self.t_span - 1.0;
+        let s2 = 2.0 * s;
+        let mut b1 = 0.0f64;
+        let mut b2 = 0.0f64;
+        for j in (1..CHEB_POINTS).rev() {
+            let b0 = self.coef[j] + s2 * b1 - b2;
+            b2 = b1;
+            b1 = b0;
+        }
+        self.coef[0] + s * b1 - b2
+    }
+}
+
 /// Bottom-up DP solve. Returns the chunk sizes (work seconds) in execution
 /// order for the full truncated work `x_max · u`.
 fn solve(
@@ -372,51 +519,155 @@ fn solve(
 ) -> Vec<f64> {
     assert!(u > 0.0, "quantum must be positive");
     // G(a, m) = Σⱼ countⱼ · ln S(τⱼ + a·u + m·C); m ranges one past x_max
-    // because the final chunk still pays its checkpoint.
+    // because the final chunk still pays its checkpoint. Reachable states
+    // have n ≤ x_max − x = a and transitions read (a, n) and (a+i, n+1)
+    // with i ≥ 1, so only the triangular region m ≤ a + 1 is ever
+    // consulted — the upper half of the grid is never filled.
+    // Both grids are stored m-major (`[m][a]`) so the DP inner loop below,
+    // which scans `i` at fixed `n`, touches consecutive memory instead of
+    // striding a cache line per iteration.
     let m_max = x_max + 1;
-    let g = |a: usize, m: usize| -> f64 {
-        let t = a as f64 * u + m as f64 * checkpoint;
-        ages.iter()
-            .map(|&(tau, c)| c * dist.log_survival(tau + t))
-            .sum::<f64>()
-    };
-    let mut grid = vec![0.0f64; (x_max + 1) * (m_max + 1)];
+    let t_span = x_max as f64 * u + (m_max + 1) as f64 * checkpoint;
+    let mut near: Vec<(f64, f64)> = Vec::with_capacity(ages.len());
+    let far = FarFit::build(dist, ages, t_span, &mut near);
+    let mut grid = vec![0.0f64; (m_max + 1) * (x_max + 1)];
+    let mut egrid = vec![0.0f64; (m_max + 1) * (x_max + 1)];
     for a in 0..=x_max {
-        for m in 0..=m_max {
-            grid[a * (m_max + 1) + m] = g(a, m);
+        let au = a as f64 * u;
+        for m in 0..=(a + 1).min(m_max) {
+            let t = au + m as f64 * checkpoint;
+            let mut g = match &far {
+                Some(fit) => fit.eval(t),
+                None => 0.0,
+            };
+            for &(tau, c) in &near {
+                g += c * dist.log_survival(tau + t);
+            }
+            grid[m * (x_max + 1) + a] = g;
+            egrid[m * (x_max + 1) + a] = g.exp();
         }
     }
-    let gg = |a: usize, m: usize| grid[a * (m_max + 1) + m];
+    let gg = |a: usize, m: usize| {
+        debug_assert!(m <= a + 1, "G({a}, {m}) outside the filled triangle");
+        grid[m * (x_max + 1) + a]
+    };
+    let ee = |a: usize, m: usize| {
+        debug_assert!(m <= a + 1, "E({a}, {m}) outside the filled triangle");
+        egrid[m * (x_max + 1) + a]
+    };
 
     // value[x][n] for n ≤ x_max − x (each chunk consumes ≥ 1 quantum).
+    //
+    // The transition value is `exp(G(a+i, n+1) − G(a, n)) · (i·u + succ)`.
+    // The denominator `exp(G(a, n))` is constant across the inner loop, so
+    // the argmax equals that of `T(i) = E(a+i, n+1)·(i·u + succ)` — no
+    // exponentials inside the loop, one division per state. When
+    // `exp(G(a, n))` underflows (survival below ~1e-324: pathological
+    // regimes) the ratio form is still meaningful, so a log-domain
+    // fallback loop handles those states exactly.
+    // `value`/`choice` are n-major (`[n][x]`) for the same contiguity
+    // reason: the hull below reads `value[n+1][j]` with ascending `j`.
+    //
+    // Inner maximisation via the monotone convex-hull trick: substituting
+    // `j = x − i` (quanta left after the chunk) the transition value is
+    //
+    //   E(x_max−j, n+1)·((x−j)·u + V(j, n+1)) = Q(j) + R(j)·z,
+    //   R(j) = E(x_max−j, n+1),  Q(j) = R(j)·(V(j, n+1) − j·u),  z = x·u.
+    //
+    // Within a column `n` the lines depend only on column n+1 and slopes
+    // `R(j)` increase with `j` (an older platform survives less), so an
+    // incremental upper hull answers every state in O(log x_max) — the DP
+    // drops from O(x_max³) to O(x_max² log x_max). Ties prefer the
+    // earlier hull line (smaller `j` = bigger chunk), matching the direct
+    // loop's tie-to-larger-`i` rule.
     let stride = x_max + 1;
     let mut value = vec![0.0f64; stride * stride];
     let mut choice = vec![0u32; stride * stride];
-    for x in 1..=x_max {
-        for n in 0..=(x_max - x) {
-            let a = x_max - x;
-            let base = gg(a, n);
-            let mut best = f64::NEG_INFINITY;
-            let mut best_i = x as u32;
-            for i in 1..=x {
-                let a2 = a + i;
-                let n2 = n + 1;
-                // ln Psuc of executing i quanta + checkpoint from (x, n).
-                let lp = gg(a2, n2) - base;
-                let succ = if x - i >= 1 && n2 <= x_max - (x - i) {
-                    value[(x - i) * stride + n2]
-                } else {
-                    0.0
-                };
-                let cur = lp.exp() * (i as f64 * u + succ);
-                // `>=` so ties (e.g. all-zero survival) prefer big chunks.
-                if cur >= best {
-                    best = cur;
-                    best_i = i as u32;
+    // (slope, intercept, j) lines of the current column's hull.
+    let mut hull: Vec<(f64, f64, u32)> = Vec::with_capacity(stride);
+    for n in (0..x_max).rev() {
+        let x_hi = x_max - n;
+        let erow = &egrid[(n + 1) * stride..(n + 2) * stride];
+        // Rows n (written) and n+1 (read) are disjoint.
+        let (vcur, vnext) = value.split_at_mut((n + 1) * stride);
+        let vrow = &vnext[..stride];
+        hull.clear();
+        for x in 1..=x_hi {
+            // Line j = x − 1 becomes a valid transition target at this x.
+            let j = x - 1;
+            let r = erow[x_max - j];
+            let q = r * (vrow[j] - j as f64 * u);
+            // Equal slopes: keep the better intercept; ties keep the
+            // earlier (smaller-j) line.
+            let mut push = true;
+            if let Some(&(tr, tq, _)) = hull.last() {
+                if r == tr {
+                    if q > tq {
+                        hull.pop();
+                    } else {
+                        push = false;
+                    }
                 }
             }
-            value[x * stride + n] = best;
-            choice[x * stride + n] = best_i;
+            if push {
+                // Pop lines that never win once the new one exists: with
+                // A below B on the stack and C new, B is useless when C
+                // overtakes B no later than B overtakes A.
+                while hull.len() >= 2 {
+                    let (ar, aq, _) = hull[hull.len() - 2];
+                    let (br, bq, _) = hull[hull.len() - 1];
+                    // z_BC ≤ z_AB ⟺ (bq − q)(br − ar) ≤ (aq − bq)(r − br)
+                    if (bq - q) * (br - ar) <= (aq - bq) * (r - br) {
+                        hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+                hull.push((r, q, j as u32));
+            }
+            let z = x as f64 * u;
+            let a = x_max - x;
+            let e_base = ee(a, n);
+            if e_base > 0.0 {
+                // Hull values at fixed `z` rise to a single peak and then
+                // fall (consecutive differences change sign once), so the
+                // peak is found by binary search; strict `>` lands on the
+                // earliest peak line on exact ties.
+                let mut lo = 0usize;
+                let mut hi = hull.len() - 1;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    let (r0, q0, _) = hull[mid];
+                    let (r1, q1, _) = hull[mid + 1];
+                    if q1 + r1 * z > q0 + r0 * z {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let (r0, q0, j0) = hull[lo];
+                vcur[n * stride + x] = (q0 + r0 * z) / e_base;
+                choice[n * stride + x] = x as u32 - j0;
+            } else {
+                // exp(G(a, n)) underflowed (survival below ~1e-324):
+                // fall back to the exact log-domain ratio form.
+                let base = gg(a, n);
+                let mut best = f64::NEG_INFINITY;
+                let mut best_i = x as u32;
+                for i in 1..=x {
+                    // ln Psuc of executing i quanta + checkpoint.
+                    let lp = gg(a + i, n + 1) - base;
+                    let succ = if x - i >= 1 { vrow[x - i] } else { 0.0 };
+                    let cur = lp.exp() * (i as f64 * u + succ);
+                    // `>=` so ties (all-zero survival) prefer big chunks.
+                    if cur >= best {
+                        best = cur;
+                        best_i = i as u32;
+                    }
+                }
+                vcur[n * stride + x] = best;
+                choice[n * stride + x] = best_i;
+            }
         }
     }
 
@@ -425,7 +676,7 @@ fn solve(
     let mut x = x_max;
     let mut n = 0usize;
     while x > 0 {
-        let i = choice[x * stride + n] as usize;
+        let i = choice[n * stride + x] as usize;
         chunks.push(i as f64 * u);
         x -= i;
         n += 1;
@@ -703,6 +954,85 @@ mod tests {
             let pa = lp(&approx).exp();
             let rel = (pa - pe).abs() / pe;
             assert!(rel < 2e-3, "chunk MTBF/2^{i}: rel error {rel}");
+        }
+    }
+
+    /// Direct O(x_max³) log-domain reference of the DP recurrence, kept
+    /// deliberately naive: no grid transposition, no hull trick, no
+    /// far-age interpolant.
+    fn solve_reference(
+        dist: &dyn FailureDistribution,
+        ages: &[(f64, f64)],
+        x_max: usize,
+        u: f64,
+        checkpoint: f64,
+    ) -> Vec<f64> {
+        let g = |a: usize, m: usize| -> f64 {
+            let t = a as f64 * u + m as f64 * checkpoint;
+            ages.iter().map(|&(tau, c)| c * dist.log_survival(tau + t)).sum()
+        };
+        let stride = x_max + 1;
+        let mut value = vec![0.0f64; stride * stride];
+        let mut choice = vec![0u32; stride * stride];
+        for x in 1..=x_max {
+            for n in 0..=(x_max - x) {
+                let a = x_max - x;
+                let base = g(a, n);
+                let mut best = f64::NEG_INFINITY;
+                let mut best_i = x as u32;
+                for i in 1..=x {
+                    let lp = g(a + i, n + 1) - base;
+                    let succ = if x - i >= 1 { value[(x - i) * stride + n + 1] } else { 0.0 };
+                    let cur = lp.exp() * (i as f64 * u + succ);
+                    if cur >= best {
+                        best = cur;
+                        best_i = i as u32;
+                    }
+                }
+                value[x * stride + n] = best;
+                choice[x * stride + n] = best_i;
+            }
+        }
+        let mut chunks = Vec::new();
+        let (mut x, mut n) = (x_max, 0usize);
+        while x > 0 {
+            let i = choice[x * stride + n] as usize;
+            chunks.push(i as f64 * u);
+            x -= i;
+            n += 1;
+        }
+        chunks
+    }
+
+    #[test]
+    fn hull_solver_matches_direct_reference() {
+        // The optimised solver (hull trick + far-age interpolant +
+        // transposed grids) must produce schedules of the same objective
+        // value as the naive recurrence, across shapes and age states.
+        for &shape in &[0.5, 0.7, 1.0, 1.3] {
+            for &mtbf in &[20_000.0, 200_000.0] {
+                let dist = Weibull::from_mtbf(shape, mtbf);
+                let age_sets: Vec<Vec<(f64, f64)>> = vec![
+                    vec![(0.0, 1.0)],
+                    vec![(500.0, 2.0), (90_000.0, 5.0)],
+                    // Mix of near and far ages relative to the window.
+                    vec![(100.0, 1.0), (5.0e6, 30.0), (9.0e7, 100.0)],
+                ];
+                for ages in &age_sets {
+                    for &x_max in &[12usize, 25, 40] {
+                        let u = 40_000.0 / x_max as f64;
+                        let fast = solve(&dist, ages, x_max, u, 600.0);
+                        let slow = solve_reference(&dist, ages, x_max, u, 600.0);
+                        let vf = expected_work_of_schedule(&dist, ages, &fast, 600.0);
+                        let vs = expected_work_of_schedule(&dist, ages, &slow, 600.0);
+                        assert!(
+                            (vf - vs).abs() <= 1e-9 * vs.abs().max(1.0),
+                            "shape {shape} mtbf {mtbf} x_max {x_max} ages {ages:?}: \
+                             fast {vf} vs reference {vs}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -14,7 +14,6 @@ use crate::stats::RunStats;
 /// Omniscient lower bound on the makespan achievable on this trace.
 pub fn lower_bound_makespan(spec: &JobSpec, traces: &TraceSet) -> RunStats {
     let events = traces.platform_events();
-    let ev = events.as_slice();
     let mut stats = RunStats::new();
     let mut now = traces.start_time;
     let mut remaining = spec.work;
@@ -27,12 +26,13 @@ pub fn lower_bound_makespan(spec: &JobSpec, traces: &TraceSet) -> RunStats {
     while remaining > eps {
         // Next effective failure.
         let next = loop {
-            match ev.get(cursor) {
-                None => break None,
-                Some(&(t, u)) => match last_failure.get(&u) {
-                    Some(&lf) if t - lf < spec.downtime => cursor += 1,
-                    _ => break Some((t, u)),
-                },
+            if cursor >= events.len() {
+                break None;
+            }
+            let (t, u) = events.get(cursor);
+            match last_failure.get(&u) {
+                Some(&lf) if t - lf < spec.downtime => cursor += 1,
+                _ => break Some((t, u)),
             }
         };
         match next {
@@ -57,8 +57,8 @@ pub fn lower_bound_makespan(spec: &JobSpec, traces: &TraceSet) -> RunStats {
                 now = tf;
                 let mut ready = now + spec.downtime;
                 loop {
-                    match ev.get(cursor) {
-                        Some(&(t, u)) if t < ready + spec.recovery => {
+                    match (cursor < events.len()).then(|| events.get(cursor)) {
+                        Some((t, u)) if t < ready + spec.recovery => {
                             cursor += 1;
                             if let Some(&lf) = last_failure.get(&u) {
                                 if t - lf < spec.downtime {

@@ -65,6 +65,7 @@ mod tests {
             chunks_completed: 6,
             chunk_min: 10.0,
             chunk_max: 10.0,
+            decisions: 7,
             past_horizon: false,
         }
     }

@@ -1,10 +1,16 @@
 //! Trace-driven execution engine (failed-only rejuvenation — the paper's
 //! main model).
+//!
+//! Unit state is kept *flat*: a dense `Vec<f64>` of last-failure dates
+//! indexed by unit id (sentinel `NEG_INFINITY` = never failed) plus a
+//! descending recency list that yields the policy's age snapshot in O(f)
+//! without sorting. The event stream is consumed through the
+//! structure-of-arrays [`PlatformEvents`] so the hot scan for the next
+//! failure only touches the packed date array.
 
 use ckpt_platform::{AgeView, PlatformEvents, TraceSet};
 use ckpt_policies::PolicySession;
 use ckpt_workload::JobSpec;
-use std::collections::HashMap;
 
 use crate::events::{EventKind, EventLog};
 use crate::stats::RunStats;
@@ -62,6 +68,63 @@ pub fn simulate_logged(
     (stats, log.into_events())
 }
 
+/// Dense per-unit failure state: last-failure date per unit (sentinel
+/// `NEG_INFINITY` = never failed) and the same dates descending, so the
+/// age snapshot is a subtraction per failed unit rather than a sort.
+struct UnitState {
+    last_failure: Vec<f64>,
+    recency: Vec<f64>,
+}
+
+impl UnitState {
+    /// Bulk-load the failures before `cursor` (pre-start history): the
+    /// incremental path would be quadratic on failure-dense histories.
+    fn preload(unit_count: usize, times: &[f64], units: &[u32], cursor: usize) -> Self {
+        let mut last_failure = vec![f64::NEG_INFINITY; unit_count];
+        for i in 0..cursor {
+            // Events are time-ordered: the last write wins.
+            last_failure[units[i] as usize] = times[i];
+        }
+        let mut recency: Vec<f64> =
+            last_failure.iter().copied().filter(|t| t.is_finite()).collect();
+        recency.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        Self { last_failure, recency }
+    }
+
+    /// Whether the event `(t, unit)` falls inside the unit's own downtime
+    /// (the paper forbids failures during a downtime).
+    #[inline]
+    fn shadowed(&self, t: f64, unit: u32, downtime: f64) -> bool {
+        // Never-failed units have `t − (−∞) = ∞`, which is not shadowed.
+        t - self.last_failure[unit as usize] < downtime
+    }
+
+    /// Record a counted failure of `unit` at time `t`.
+    fn note_failure(&mut self, unit: u32, t: f64) {
+        let old = std::mem::replace(&mut self.last_failure[unit as usize], t);
+        if old.is_finite() {
+            // Remove the unit's previous entry (rare: repeat failures).
+            if let Some(pos) = self.recency.iter().position(|&x| x == old) {
+                self.recency.remove(pos);
+            }
+        }
+        // Failures are consumed in time order, so t is (weakly) the
+        // largest time seen: it belongs at the front of the list.
+        let pos = self.recency.partition_point(|&x| x > t);
+        self.recency.insert(pos, t);
+    }
+
+    /// Build the age snapshot without sorting (recency is descending, so
+    /// ages come out ascending as [`AgeView`] requires).
+    fn ages(&self, procs: u64, procs_per_unit: u32, now: f64) -> AgeView {
+        let failed: Vec<(f64, u32)> =
+            self.recency.iter().map(|&t| (now - t, procs_per_unit)).collect();
+        let failed_procs = failed.len() as u64 * u64::from(procs_per_unit);
+        let pristine = procs.saturating_sub(failed_procs);
+        AgeView::from_sorted(failed, pristine, now)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate_impl(
     spec: &JobSpec,
@@ -76,36 +139,27 @@ fn simulate_impl(
     let mut stats = RunStats::new();
     let mut now = start_time;
     let mut remaining = spec.work;
-    let ev = events.as_slice();
+    let times = events.times();
+    let units = events.units();
     let mut cursor = events.first_at_or_after(now);
-    // Unit → date of its last counted failure.
-    let mut last_failure: HashMap<u32, f64> = HashMap::new();
-    // Last-failure dates, descending (ages ascending), for O(f) snapshots.
-    let mut recency: Vec<f64> = Vec::new();
-    // Failures that occurred before the job started (§4.3 starts jobs one
-    // year into the trace) determine the initial processor ages. Bulk-load
-    // them (the incremental path would be quadratic on failure-dense
-    // histories).
-    for &(t, u) in &ev[..cursor] {
-        last_failure.insert(u, t); // events are time-ordered: last wins
-    }
-    recency.extend(last_failure.values().copied());
-    recency.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    // Dense state needs one slot per unit the spec or the trace mentions.
+    let unit_floor = (spec.procs as usize).div_ceil(procs_per_unit.max(1) as usize);
+    let unit_count =
+        units.iter().map(|&u| u as usize + 1).max().unwrap_or(0).max(unit_floor);
+    let mut state = UnitState::preload(unit_count, times, units, cursor);
     let mut decisions = 0u64;
     // Smallest work slice the engine tracks; below this the job is done.
     let eps = spec.work * 1e-12;
 
-    // Pop the next event at or after `now`, skipping events that fall
-    // inside their own unit's downtime (the paper forbids failures during
-    // a downtime).
-    let pop_next = |cursor: &mut usize, last_failure: &HashMap<u32, f64>| -> Option<(f64, u32)> {
-        while *cursor < ev.len() {
-            let (t, u) = ev[*cursor];
-            match last_failure.get(&u) {
-                Some(&lf) if t - lf < spec.downtime => {
-                    *cursor += 1; // own-downtime shadowed event
-                }
-                _ => return Some((t, u)),
+    // Pop the next event at or after `now`, skipping events shadowed by
+    // their own unit's downtime.
+    let pop_next = |cursor: &mut usize, state: &UnitState| -> Option<(f64, u32)> {
+        while *cursor < times.len() {
+            let (t, u) = (times[*cursor], units[*cursor]);
+            if state.shadowed(t, u, spec.downtime) {
+                *cursor += 1;
+            } else {
+                return Some((t, u));
             }
         }
         None
@@ -119,7 +173,7 @@ fn simulate_impl(
             options.max_decisions
         );
         let ages = if session.wants_ages() {
-            build_ages(&recency, spec.procs, procs_per_unit, now)
+            state.ages(spec.procs, procs_per_unit, now)
         } else {
             AgeView::all_pristine(spec.procs, now)
         };
@@ -127,23 +181,20 @@ fn simulate_impl(
         stats.observe_chunk(chunk);
         let attempt = chunk + spec.checkpoint;
         log.push(now, EventKind::ChunkStart { work: chunk });
-        match pop_next(&mut cursor, &last_failure) {
+        match pop_next(&mut cursor, &state) {
             Some((tf, unit)) if tf < now + attempt => {
                 // Failure during compute or checkpoint.
                 stats.failures += 1;
                 stats.lost_time += tf - now;
                 cursor += 1;
-                note_failure(&mut last_failure, &mut recency, unit, tf);
+                state.note_failure(unit, tf);
                 session.on_failure();
                 log.push(tf, EventKind::Failure { unit });
                 now = tf;
-                now = settle_downtime(
-                    spec, &mut stats, &mut cursor, &mut last_failure, &mut recency, ev, now,
-                );
+                now = settle_downtime(spec, &mut stats, &mut cursor, &mut state, times, units, now);
                 log.push(now, EventKind::PlatformReady);
                 now = run_recovery(
-                    spec, &mut stats, &mut cursor, &mut last_failure, &mut recency, ev, now,
-                    &pop_next,
+                    spec, &mut stats, &mut cursor, &mut state, times, units, now, &pop_next,
                 );
                 log.push(now, EventKind::RecoveryDone);
             }
@@ -159,6 +210,7 @@ fn simulate_impl(
         }
     }
     log.push(now, EventKind::JobDone);
+    stats.decisions = decisions;
     stats.makespan = now - start_time;
     stats.past_horizon = now > horizon;
     stats
@@ -191,67 +243,35 @@ fn sanitize_chunk(chunk: f64, remaining: f64) -> f64 {
     }
 }
 
-/// Build the age snapshot from the recency list (last-failure times in
-/// descending order, i.e. ages ascending) without sorting.
-fn build_ages(
-    recency: &[f64],
-    procs: u64,
-    procs_per_unit: u32,
-    now: f64,
-) -> AgeView {
-    let failed: Vec<(f64, u32)> = recency.iter().map(|&t| (now - t, procs_per_unit)).collect();
-    let failed_procs = failed.len() as u64 * u64::from(procs_per_unit);
-    let pristine = procs.saturating_sub(failed_procs);
-    AgeView::from_sorted(failed, pristine, now)
-}
-
-/// Record a failure in both unit-indexed map and recency list.
-fn note_failure(
-    last_failure: &mut HashMap<u32, f64>,
-    recency: &mut Vec<f64>,
-    unit: u32,
-    t: f64,
-) {
-    if let Some(old) = last_failure.insert(unit, t) {
-        // Remove the unit's previous entry (rare: repeat failures).
-        if let Some(pos) = recency.iter().position(|&x| x == old) {
-            recency.remove(pos);
-        }
-    }
-    // Failures are consumed in time order, so t is (weakly) the largest
-    // time seen: it belongs at the front of the descending list.
-    let pos = recency.partition_point(|&x| x > t);
-    recency.insert(pos, t);
-}
-
 /// Absorb the downtime of the failure at `now` plus any cascading failures
 /// on other units that strike before the platform is whole again. Returns
 /// the time at which all processors are up.
-#[allow(clippy::too_many_arguments)]
 fn settle_downtime(
     spec: &JobSpec,
     stats: &mut RunStats,
     cursor: &mut usize,
-    last_failure: &mut HashMap<u32, f64>,
-    recency: &mut Vec<f64>,
-    ev: &[(f64, u32)],
+    state: &mut UnitState,
+    times: &[f64],
+    units: &[u32],
     now: f64,
 ) -> f64 {
     let mut ready = now + spec.downtime;
-    while *cursor < ev.len() && ev[*cursor].0 < ready {
-        let (t, u) = ev[*cursor];
+    while *cursor < times.len() && times[*cursor] < ready {
+        let (t, u) = (times[*cursor], units[*cursor]);
         *cursor += 1;
-        match last_failure.get(&u) {
-            Some(&lf) if t - lf < spec.downtime => continue, // own downtime
-            _ => {}
+        if state.shadowed(t, u, spec.downtime) {
+            continue; // own downtime
         }
         stats.failures += 1;
-        note_failure(last_failure, recency, u, t);
+        state.note_failure(u, t);
         ready = ready.max(t + spec.downtime);
     }
     stats.downtime_time += ready - now;
     ready
 }
+
+/// Event-popping closure shared by the main loop and recovery.
+type PopNext<'a> = dyn Fn(&mut usize, &UnitState) -> Option<(f64, u32)> + 'a;
 
 /// Attempt recoveries (duration `R`, fault-prone) until one completes.
 #[allow(clippy::too_many_arguments)]
@@ -259,21 +279,21 @@ fn run_recovery(
     spec: &JobSpec,
     stats: &mut RunStats,
     cursor: &mut usize,
-    last_failure: &mut HashMap<u32, f64>,
-    recency: &mut Vec<f64>,
-    ev: &[(f64, u32)],
+    state: &mut UnitState,
+    times: &[f64],
+    units: &[u32],
     mut now: f64,
-    pop_next: &dyn Fn(&mut usize, &HashMap<u32, f64>) -> Option<(f64, u32)>,
+    pop_next: &PopNext<'_>,
 ) -> f64 {
     loop {
-        match pop_next(cursor, last_failure) {
+        match pop_next(cursor, state) {
             Some((tf, unit)) if tf < now + spec.recovery => {
                 // Failure during recovery: abort, downtime, retry.
                 stats.failures += 1;
                 stats.recovery_time += tf - now;
                 *cursor += 1;
-                note_failure(last_failure, recency, unit, tf);
-                now = settle_downtime(spec, stats, cursor, last_failure, recency, ev, tf);
+                state.note_failure(unit, tf);
+                now = settle_downtime(spec, stats, cursor, state, times, units, tf);
             }
             _ => {
                 stats.recovery_time += spec.recovery;

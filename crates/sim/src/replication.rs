@@ -62,14 +62,14 @@ impl<'a> Half<'a> {
     /// Next effective failure at or after `t` (skipping events inside
     /// their unit's own downtime), without consuming it.
     fn peek(&mut self, t: f64, downtime: f64) -> Option<(f64, u32)> {
-        let ev = self.events.as_slice();
+        let times = self.events.times();
         // The cursor never moves backwards; catch it up to `t` first.
-        while self.cursor < ev.len() && ev[self.cursor].0 < t {
+        while self.cursor < times.len() && times[self.cursor] < t {
             self.cursor += 1;
         }
         let mut i = self.cursor;
-        while i < ev.len() {
-            let (time, unit) = ev[i];
+        while i < times.len() {
+            let (time, unit) = self.events.get(i);
             match self.last_failure.get(&unit) {
                 Some(&lf) if time - lf < downtime => i += 1,
                 _ => return Some((time, unit)),

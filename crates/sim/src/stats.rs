@@ -22,6 +22,9 @@ pub struct RunStats {
     pub recovery_time: f64,
     /// Number of chunks successfully executed and checkpointed.
     pub chunks_completed: u64,
+    /// Decision points: chunks attempted, i.e. policy consultations
+    /// (each either commits or is cut short by a failure).
+    pub decisions: u64,
     /// Smallest and largest chunk the policy attempted, seconds.
     pub chunk_min: f64,
     /// Largest chunk attempted, seconds.
@@ -42,6 +45,7 @@ impl RunStats {
             downtime_time: 0.0,
             recovery_time: 0.0,
             chunks_completed: 0,
+            decisions: 0,
             chunk_min: f64::INFINITY,
             chunk_max: 0.0,
             past_horizon: false,

@@ -1,0 +1,226 @@
+//! The flat-state engine must be observationally identical to the seed
+//! engine it replaced.
+//!
+//! The seed engine kept per-unit failure state in a `HashMap<u32, f64>`
+//! and rebuilt the age snapshot by sorting at every decision point. The
+//! production engine now keeps a dense `Vec<f64>` plus an incrementally
+//! maintained recency list. This test re-implements the seed semantics
+//! (hash map, sort-per-decision) as an independent oracle and checks that
+//! both produce bit-identical [`RunStats`] on randomized small traces.
+
+use ckpt_platform::{AgeView, FailureTrace, Topology, TraceSet};
+use ckpt_policies::{FixedPeriod, Policy, PolicySession};
+use ckpt_sim::engine::simulate_traceset;
+use ckpt_sim::{RunStats, SimOptions};
+use ckpt_workload::JobSpec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Seed-engine re-implementation: `HashMap` unit state, snapshot sorted
+/// from scratch at each decision. Mirrors the pre-refactor control flow
+/// (downtime cascades, fault-prone recoveries, own-downtime shadowing).
+fn reference_simulate(
+    spec: &JobSpec,
+    session: &mut dyn PolicySession,
+    traces: &TraceSet,
+) -> RunStats {
+    let mut events: Vec<(f64, u32)> = traces
+        .units
+        .iter()
+        .enumerate()
+        .flat_map(|(u, tr)| tr.failures.iter().map(move |&t| (t, u as u32)))
+        .collect();
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    let ppu = traces.topology.procs_per_unit() as u32;
+    let start = traces.start_time;
+
+    let mut stats = RunStats {
+        makespan: 0.0,
+        failures: 0,
+        work_time: 0.0,
+        checkpoint_time: 0.0,
+        lost_time: 0.0,
+        downtime_time: 0.0,
+        recovery_time: 0.0,
+        chunks_completed: 0,
+        decisions: 0,
+        chunk_min: f64::INFINITY,
+        chunk_max: 0.0,
+        past_horizon: false,
+    };
+    let mut now = start;
+    let mut remaining = spec.work;
+    let mut cursor = events.partition_point(|&(t, _)| t < now);
+    let mut last_failure: HashMap<u32, f64> = HashMap::new();
+    for &(t, u) in &events[..cursor] {
+        last_failure.insert(u, t);
+    }
+    let eps = spec.work * 1e-12;
+
+    let shadowed = |lf: &HashMap<u32, f64>, t: f64, u: u32| match lf.get(&u) {
+        Some(&prev) => t - prev < spec.downtime,
+        None => false,
+    };
+    let ages_of = |lf: &HashMap<u32, f64>, now: f64| -> AgeView {
+        let failed: Vec<(f64, u32)> = lf.values().map(|&t| (now - t, ppu)).collect();
+        let pristine = spec.procs.saturating_sub(failed.len() as u64 * u64::from(ppu));
+        AgeView::new(failed, pristine, now)
+    };
+    // Absorb the downtime starting at `now` plus cascading failures.
+    let settle = |stats: &mut RunStats,
+                  cursor: &mut usize,
+                  lf: &mut HashMap<u32, f64>,
+                  now: f64|
+     -> f64 {
+        let mut ready = now + spec.downtime;
+        while *cursor < events.len() && events[*cursor].0 < ready {
+            let (t, u) = events[*cursor];
+            *cursor += 1;
+            if shadowed(lf, t, u) {
+                continue;
+            }
+            stats.failures += 1;
+            lf.insert(u, t);
+            ready = ready.max(t + spec.downtime);
+        }
+        stats.downtime_time += ready - now;
+        ready
+    };
+    let pop_next = |cursor: &mut usize, lf: &HashMap<u32, f64>| -> Option<(f64, u32)> {
+        while *cursor < events.len() {
+            let (t, u) = events[*cursor];
+            if shadowed(lf, t, u) {
+                *cursor += 1;
+            } else {
+                return Some((t, u));
+            }
+        }
+        None
+    };
+
+    while remaining > eps {
+        stats.decisions += 1;
+        assert!(stats.decisions < 1_000_000, "reference engine runaway");
+        let ages = if session.wants_ages() {
+            ages_of(&last_failure, now)
+        } else {
+            AgeView::all_pristine(spec.procs, now)
+        };
+        let proposed = session.next_chunk(remaining, &ages, now - start);
+        let chunk = if !proposed.is_finite() || proposed <= 0.0 {
+            remaining
+        } else {
+            proposed.min(remaining)
+        };
+        stats.chunk_min = stats.chunk_min.min(chunk);
+        stats.chunk_max = stats.chunk_max.max(chunk);
+        let attempt = chunk + spec.checkpoint;
+        match pop_next(&mut cursor, &last_failure) {
+            Some((tf, unit)) if tf < now + attempt => {
+                stats.failures += 1;
+                stats.lost_time += tf - now;
+                cursor += 1;
+                last_failure.insert(unit, tf);
+                session.on_failure();
+                now = settle(&mut stats, &mut cursor, &mut last_failure, tf);
+                // Fault-prone recovery attempts.
+                loop {
+                    match pop_next(&mut cursor, &last_failure) {
+                        Some((t2, u2)) if t2 < now + spec.recovery => {
+                            stats.failures += 1;
+                            stats.recovery_time += t2 - now;
+                            cursor += 1;
+                            last_failure.insert(u2, t2);
+                            now = settle(&mut stats, &mut cursor, &mut last_failure, t2);
+                        }
+                        _ => {
+                            stats.recovery_time += spec.recovery;
+                            now += spec.recovery;
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {
+                now += attempt;
+                remaining -= chunk;
+                stats.work_time += chunk;
+                stats.checkpoint_time += spec.checkpoint;
+                stats.chunks_completed += 1;
+            }
+        }
+    }
+    stats.makespan = now - start;
+    stats.past_horizon = now > traces.horizon;
+    stats
+}
+
+/// A session whose chunk size depends on the age snapshot, so the test
+/// exercises the incrementally maintained ages, not just the event flow.
+struct AgeSensitive {
+    base: f64,
+}
+
+impl PolicySession for AgeSensitive {
+    fn next_chunk(&mut self, remaining: f64, ages: &AgeView, _now: f64) -> f64 {
+        let (pristine, _) = ages.pristine();
+        let chunk = self.base + 0.01 * ages.min_age() + 0.5 * pristine as f64;
+        chunk.max(1.0).min(remaining)
+    }
+}
+
+fn traces_from_gaps(gaps: Vec<Vec<f64>>, horizon: f64) -> TraceSet {
+    let units = gaps
+        .into_iter()
+        .map(|gs| {
+            let mut t = 0.0;
+            let mut failures = Vec::with_capacity(gs.len());
+            for g in gs {
+                t += g;
+                failures.push(t);
+            }
+            FailureTrace { failures }
+        })
+        .collect();
+    TraceSet { units, topology: Topology::per_processor(), horizon, start_time: 0.0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_engine_matches_reference_fixed_period(
+        gaps in proptest::collection::vec(
+            proptest::collection::vec(20.0..600.0f64, 0..10), 1..4),
+        work in 500.0..4_000.0f64,
+        period in 60.0..900.0f64,
+        checkpoint in 5.0..40.0f64,
+    ) {
+        let procs = gaps.len() as u64;
+        let spec = JobSpec { procs, ..JobSpec::sequential(work, checkpoint, 25.0, 8.0) };
+        let traces = traces_from_gaps(gaps, 1e9);
+        let policy = FixedPeriod::new("p", period);
+        let mut s1 = policy.session();
+        let fast = simulate_traceset(&spec, &mut *s1, &traces, SimOptions::default());
+        let mut s2 = policy.session();
+        let slow = reference_simulate(&spec, &mut *s2, &traces);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_age_sensitive(
+        gaps in proptest::collection::vec(
+            proptest::collection::vec(15.0..500.0f64, 0..12), 1..5),
+        work in 400.0..3_000.0f64,
+        base in 40.0..400.0f64,
+    ) {
+        let procs = gaps.len() as u64;
+        let spec = JobSpec { procs, ..JobSpec::sequential(work, 12.0, 30.0, 6.0) };
+        let traces = traces_from_gaps(gaps, 1e9);
+        let mut s1 = AgeSensitive { base };
+        let fast = simulate_traceset(&spec, &mut s1, &traces, SimOptions::default());
+        let mut s2 = AgeSensitive { base };
+        let slow = reference_simulate(&spec, &mut s2, &traces);
+        prop_assert_eq!(fast, slow);
+    }
+}

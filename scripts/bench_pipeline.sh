@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end pipeline benchmark: clippy gate, then the fixed Petascale
+# Weibull(0.7, 125 y) / 4096-proc / 24-trace cell (the policy_micro
+# platform), merging the committed baseline with the fresh run into
+# results/BENCH_pipeline.json so both numbers travel together.
+#
+# Usage: scripts/bench_pipeline.sh [TRACES]
+#   TRACES — trace count (default 24; the committed baseline was recorded
+#            at 24, so other values make the speedup field meaningless)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACES=${1:-24}
+OUT=results
+BASELINE="$OUT/BENCH_pipeline_baseline.json"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "missing $BASELINE (committed pre-optimization reference)" >&2
+  exit 1
+fi
+
+echo "== clippy gate =="
+cargo clippy --workspace -- -D warnings
+
+echo "== build (release) =="
+cargo build --release -q -p ckpt-exp
+
+echo "== bench (traces=$TRACES) =="
+mkdir -p "$OUT"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+cargo run --release -q -p ckpt-exp --bin bench_pipeline -- \
+  --traces "$TRACES" --label optimized --search coarse --out "$tmp"
+
+jq -n --slurpfile base "$BASELINE" --slurpfile fresh "$tmp" '
+  ($base[0]) as $b | ($fresh[0]) as $n |
+  {
+    cell: $n.cell,
+    baseline: {label: $b.label, total_seconds: $b.total_seconds, pipeline: $b.pipeline},
+    optimized: {label: $n.label, total_seconds: $n.total_seconds, pipeline: $n.pipeline},
+    speedup: (($b.total_seconds / $n.total_seconds) * 100 | round / 100)
+  }' > "$OUT/BENCH_pipeline.json"
+
+echo "== wrote $OUT/BENCH_pipeline.json =="
+jq '{baseline: .baseline.total_seconds, optimized: .optimized.total_seconds, speedup}' \
+  "$OUT/BENCH_pipeline.json"

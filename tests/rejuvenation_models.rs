@@ -104,7 +104,9 @@ fn figure1_crossover_direction() {
 fn spare_pool_covers_simulated_maximum() {
     // §5.2.2 sparing guidance: the Poisson 99.99 % quantile from the
     // renewal module must cover the maximum failures any simulated run
-    // sees.
+    // sees. The bound has to be renewal-aware: with Weibull k < 1 the
+    // pristine fleet front-loads failures far above the steady-state
+    // p/(μ+D) rate, so the exponential-rate quantile undercounts.
     let p = 1u64 << 10;
     let mtbf = 125.0 * YEAR;
     let dist = Weibull::from_mtbf(0.7, mtbf);
@@ -134,8 +136,13 @@ fn spare_pool_covers_simulated_maximum() {
         max_failures = max_failures.max(st.failures);
         makespan_max = makespan_max.max(st.makespan);
     }
-    let spares =
-        ckpt_core::platform::spares_for_quantile(mtbf, 60.0, p, makespan_max, 0.9999);
+    let spares = ckpt_core::platform::spares_for_quantile_renewal(
+        &dist,
+        p,
+        YEAR,
+        YEAR + makespan_max,
+        0.9999,
+    );
     assert!(
         spares >= max_failures,
         "spare quantile {spares} below observed max {max_failures}"

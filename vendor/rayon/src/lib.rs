@@ -1,0 +1,177 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no network access, so the workspace pins this
+//! sequential implementation of the rayon API surface it uses (see
+//! `[workspace.dependencies]`). `into_par_iter()` / `par_iter()` simply
+//! return the corresponding *sequential* iterators — every adaptor
+//! (`map`, `filter`, `collect`, …) is then the `std::iter` one, so code
+//! written against rayon's data-parallel style compiles and runs
+//! unchanged, just on one thread.
+//!
+//! This is not a performance lie on the target container, which exposes a
+//! single CPU: real rayon would add overhead there. Swapping the
+//! workspace dependency back to upstream rayon restores true parallelism
+//! without touching any call site — determinism tests in `ckpt-exp`
+//! assert the results are identical either way.
+
+/// Sequential `into_par_iter()`: returns the ordinary sequential iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// rayon-compatible spelling of `into_iter()`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Sequential `par_iter()` / `par_iter_mut()` over slices (and everything
+/// that derefs to a slice, e.g. `Vec`).
+pub trait ParallelSlice<T> {
+    /// rayon-compatible spelling of `iter()`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// rayon-compatible spelling of `iter_mut()`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// rayon-compatible spelling of `chunks()`.
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+}
+
+/// The names user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in the sequential stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Sequential `ThreadPool`: [`install`](ThreadPool::install) runs the
+/// closure on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (directly, in this stub).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count (informational only).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded but ignored: execution is
+    /// sequential either way).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Build the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.threads })
+    }
+}
+
+/// The number of threads rayon would use (always 1 here).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential scope: `spawn` runs each closure immediately.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope { _marker: std::marker::PhantomData })
+}
+
+/// Scope handle for [`scope`].
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Run `body` immediately (sequential stub).
+    pub fn spawn<B>(&self, body: B)
+    where
+        B: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Sequential `join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..10).into_par_iter().map(|x| x).sum();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn scope_and_join() {
+        let mut hits = 0;
+        super::scope(|s| {
+            s.spawn(|_| {});
+        });
+        let (a, b) = super::join(|| 1, || 2);
+        hits += a + b;
+        assert_eq!(hits, 3);
+    }
+}

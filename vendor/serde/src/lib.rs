@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` to document
+//! which result types are serialization-ready; nothing performs actual
+//! serde serialization (JSON artifacts are written by the hand-rolled
+//! emitter in `ckpt-exp`). So the traits here are empty markers and the
+//! re-exported derives (from the vendored `serde_derive`) emit marker
+//! impls. Swapping back to upstream serde changes no call sites.
+
+/// Marker for types whose layout is serialization-ready.
+pub trait Serialize {}
+
+/// Marker for types whose layout is deserialization-ready.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket impls for the primitives and containers that appear as fields
+// or in generic contexts, so `T: Serialize` bounds stay usable.
+macro_rules! mark {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+mark!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String, str);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize + ?Sized> Deserialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

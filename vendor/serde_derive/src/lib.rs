@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub defines `Serialize` / `Deserialize` as
+//! marker traits (no methods), so the derives here only need to emit
+//! `impl serde::Serialize for Type {}` — no field inspection. The type
+//! name is recovered with a tiny hand parse (the token after `struct` /
+//! `enum`); generic types get no impl, which is fine because every
+//! derived type in this workspace is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum` keyword, unless
+/// the type is generic (next token is `<`), in which case return None.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derive the `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derive the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Present so the dependency graph resolves offline; the workspace's
+//! JSON artifacts (e.g. `BENCH_pipeline.json`) are written by the
+//! hand-rolled emitter in `ckpt-exp::perf`, which needs no serde. The
+//! one helper here escapes strings per RFC 8259 for that emitter.
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes_controls_and_quotes() {
+        assert_eq!(super::escape_str("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::escape_str("\u{1}"), "\\u0001");
+    }
+}
