@@ -25,6 +25,15 @@ fn weibull_expected_loss(c: &mut Criterion) {
     });
 }
 
+fn registry_policy_build(c: &mut Criterion) {
+    // End-to-end policy instantiation through the experiment registry —
+    // the same path the runner and CLI take per scenario.
+    let sc = ckpt_bench::bench_scenario_peta_weibull();
+    c.bench_function("registry_build_optexp_peta", |b| {
+        b.iter(|| std::hint::black_box(ckpt_bench::bench_policy("OptExp", &sc).name().len()))
+    });
+}
+
 fn dp_next_failure_plan(c: &mut Criterion) {
     let spec = JobSpec::table1_petascale(1 << 12);
     let mtbf = 125.0 * YEAR;
@@ -106,7 +115,7 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
     targets = lambert_w, optexp_construction, weibull_expected_loss,
-              dp_next_failure_plan, dp_makespan_build, engine_throughput,
-              trace_generation
+              registry_policy_build, dp_next_failure_plan, dp_makespan_build,
+              engine_throughput, trace_generation
 }
 criterion_main!(micro);

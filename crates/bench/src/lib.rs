@@ -24,6 +24,19 @@ pub fn bench_scenario_peta_weibull() -> Scenario {
     )
 }
 
+/// Build a named policy for a scenario through the experiment registry —
+/// the same construction site the runner and the `ckpt-exp` CLI use, so
+/// benches measure exactly what experiments run.
+///
+/// # Panics
+/// On unknown names (listing the known ones) or policies that cannot be
+/// instantiated for this cell.
+pub fn bench_policy(name: &str, scenario: &Scenario) -> Box<dyn Policy> {
+    let built = scenario.dist.build();
+    let kind = ckpt_core::exp::parse_kind(name).unwrap_or_else(|e| panic!("{e}"));
+    ckpt_core::exp::build_policy(&kind, scenario, &built).unwrap_or_else(|e| panic!("{e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,5 +45,13 @@ mod tests {
     fn scenarios_build() {
         assert_eq!(bench_scenario_1proc_weibull().procs, 1);
         assert_eq!(bench_scenario_peta_weibull().procs, 1 << 12);
+    }
+
+    #[test]
+    fn bench_policy_uses_the_registry() {
+        let sc = bench_scenario_peta_weibull();
+        // Case-insensitive, like the CLI.
+        assert_eq!(bench_policy("young", &sc).name(), "Young");
+        assert_eq!(bench_policy("OptExp", &sc).name(), "OptExp");
     }
 }

@@ -27,7 +27,7 @@ pub mod quick;
 
 /// One-import convenience module.
 pub mod prelude {
-    pub use crate::quick::{degradation_table, expected_makespan, optimal_period};
+    pub use crate::quick::{degradation_table, expected_makespan, optimal_period, Study};
     pub use ckpt_dist::{
         fit_exponential, fit_weibull_mle, Empirical, Exponential, FailureDistribution,
         GammaDist, LogNormal, MinOf, Mixture, Weibull,

@@ -4,6 +4,8 @@ use ckpt_exp::{run_scenario, PolicyKind, RunnerOptions, Scenario, ScenarioResult
 use ckpt_policies::OptExp;
 use ckpt_workload::JobSpec;
 
+pub use ckpt_exp::Study;
+
 /// The Theorem-1 optimal checkpoint period (seconds of work between
 /// checkpoints) for Exponential failures with the given per-processor
 /// MTBF.
@@ -22,6 +24,9 @@ pub fn expected_makespan(spec: &JobSpec, mtbf: f64) -> f64 {
 
 /// Run a full degradation-from-best comparison (the paper's table format)
 /// on one scenario with the standard §4.1 roster.
+///
+/// For batches of cells — or to handle malformed scenarios as values
+/// instead of panics — use [`Study`] and its `run_all`.
 pub fn degradation_table(scenario: &Scenario) -> ScenarioResult {
     let include_dp_makespan = scenario.procs == 1
         || matches!(scenario.dist, ckpt_exp::DistSpec::Exponential { .. });
@@ -52,5 +57,23 @@ mod tests {
     fn expected_makespan_rejects_parallel() {
         let spec = JobSpec::table1_petascale(1024);
         expected_makespan(&spec, 1e9);
+    }
+
+    #[test]
+    fn study_run_all_matches_degradation_table() {
+        let mut sc = Scenario::single_processor(
+            ckpt_exp::DistSpec::Exponential { mtbf: 6.0 * 3_600.0 },
+            3,
+        );
+        sc.total_work = 12.0 * 3_600.0;
+        let table = degradation_table(&sc);
+        let batch = Study::new().run_all(std::slice::from_ref(&sc));
+        let r = batch[0].as_ref().expect("well-formed cell");
+        // Same default roster, same options → bit-identical rows.
+        assert_eq!(r.outcomes.len(), table.outcomes.len());
+        for (a, b) in r.outcomes.iter().zip(&table.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! only needs to expose the counting survival function over the sorted
 //! sample.
 
-use crate::FailureDistribution;
+use crate::{DistError, FailureDistribution};
 use rand::RngCore;
 
 /// Discrete empirical failure distribution over a log's availability
@@ -26,18 +26,33 @@ impl Empirical {
     /// Build from a set of availability durations (seconds).
     ///
     /// # Panics
-    /// Panics on an empty set or non-finite/negative durations.
-    pub fn from_durations(mut durations: Vec<f64>) -> Self {
-        assert!(!durations.is_empty(), "Empirical: empty duration set");
-        assert!(
-            durations.iter().all(|d| d.is_finite() && *d > 0.0),
-            "Empirical: durations must be positive and finite"
-        );
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    /// Panics on an empty set or non-finite/negative durations; the
+    /// fallible form is [`Empirical::try_from_durations`].
+    pub fn from_durations(durations: Vec<f64>) -> Self {
+        match Self::try_from_durations(durations) {
+            Ok(e) => e,
+            Err(e) => panic!("Empirical: {e}"),
+        }
+    }
+
+    /// Build from a set of availability durations (seconds), reporting a
+    /// typed [`DistError`] on an empty set or a non-finite/non-positive
+    /// duration.
+    pub fn try_from_durations(mut durations: Vec<f64>) -> Result<Self, DistError> {
+        if durations.is_empty() {
+            return Err(DistError::EmptySample);
+        }
+        if let Some((index, &value)) =
+            durations.iter().enumerate().find(|(_, d)| !(d.is_finite() && **d > 0.0))
+        {
+            return Err(DistError::InvalidDuration { index, value });
+        }
+        // All finite by the check above, so total order == partial order.
+        durations.sort_by(|a, b| a.total_cmp(b));
         let mean =
             durations.iter().copied().collect::<ckpt_math::KahanSum>().value()
                 / durations.len() as f64;
-        Self { durations, mean }
+        Ok(Self { durations, mean })
     }
 
     /// Number of logged durations.
@@ -59,7 +74,8 @@ impl Empirical {
 
     /// Largest logged duration — the support's upper edge.
     pub fn max_duration(&self) -> f64 {
-        *self.durations.last().expect("non-empty")
+        // Construction guarantees at least one duration.
+        self.durations[self.durations.len() - 1]
     }
 }
 
@@ -101,6 +117,7 @@ impl FailureDistribution for Empirical {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -194,5 +211,19 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive() {
         Empirical::from_durations(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn try_constructor_reports_typed_errors() {
+        use crate::DistError;
+        assert!(matches!(
+            Empirical::try_from_durations(vec![]),
+            Err(DistError::EmptySample)
+        ));
+        match Empirical::try_from_durations(vec![1.0, f64::NAN, 2.0]) {
+            Err(DistError::InvalidDuration { index: 1, value }) => assert!(value.is_nan()),
+            other => panic!("expected InvalidDuration at #1, got {other:?}"),
+        }
+        assert!(Empirical::try_from_durations(vec![3.0, 1.0]).is_ok());
     }
 }

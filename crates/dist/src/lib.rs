@@ -18,7 +18,10 @@
 //! all precision. Working with `exp`/`expm1` of log-survival differences
 //! keeps every quantity fully conditioned (see [`loss`]).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod empirical;
+pub mod error;
 pub mod exponential;
 pub mod fitting;
 pub mod gamma_dist;
@@ -29,6 +32,7 @@ pub mod mixture;
 pub mod weibull;
 
 pub use empirical::Empirical;
+pub use error::DistError;
 pub use exponential::Exponential;
 pub use fitting::{fit_exponential, fit_weibull_mle};
 pub use gamma_dist::GammaDist;

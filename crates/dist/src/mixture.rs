@@ -69,14 +69,17 @@ impl FailureDistribution for Mixture {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         use rand::Rng;
         let mut u: f64 = rng.gen();
-        for (w, d) in &self.components {
+        // Rounding fallthrough lands on the last component (construction
+        // guarantees at least one).
+        let mut pick = self.components.len() - 1;
+        for (i, (w, _)) in self.components.iter().enumerate() {
             if u < *w {
-                return d.sample(rng);
+                pick = i;
+                break;
             }
             u -= w;
         }
-        // Rounding fallthrough: last component.
-        self.components.last().expect("non-empty").1.sample(rng)
+        self.components[pick].1.sample(rng)
     }
 
     fn clone_box(&self) -> Box<dyn FailureDistribution> {
@@ -85,6 +88,7 @@ impl FailureDistribution for Mixture {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{Exponential, Weibull};

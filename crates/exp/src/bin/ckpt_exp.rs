@@ -12,6 +12,7 @@
 //!   fig7      LANL cluster 19 log          fig100  both LANL clusters
 //!   fig8      1-proc period sweep (Exp)    fig9    1-proc period sweep (Weibull)
 //!   fig98     makespan profiles, OptExp    fig99   makespan profiles, DPNextFailure
+//!             (both accept --policy NAME to profile any policy, case-insensitive)
 //!   matrix    one Appendix-B cell: --model ep|amdahl-1e-4|amdahl-1e-6|
 //!             kernel-0.1|kernel-1|kernel-10 --overhead const|prop
 //!             [--mtbf-years Y] [--weibull] [--exa] [--procs P]
@@ -35,6 +36,7 @@ struct Args {
     weibull: bool,
     exa: bool,
     procs: u64,
+    policy: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
         weibull: false,
         exa: false,
         procs: JAGUAR_PROCS,
+        policy: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,6 +62,7 @@ fn parse_args() -> Args {
             "--mtbf-years" => {
                 args.mtbf_years = it.next().expect("--mtbf-years Y").parse().expect("number")
             }
+            "--policy" => args.policy = Some(it.next().expect("--policy NAME")),
             "--weibull" => args.weibull = true,
             "--exa" => args.exa = true,
             "--procs" => args.procs = it.next().expect("--procs P").parse().expect("number"),
@@ -190,10 +194,18 @@ fn main() {
             emit(&args.out, &format!("{}.md", args.experiment), &markdown_table(&r));
         }
         "fig98" | "fig99" => {
-            let kind = if args.experiment == "fig98" {
-                PolicyKind::OptExp
-            } else {
-                PolicyKind::DpNextFailure(Default::default())
+            // `--policy NAME` picks any registry policy (case-insensitive);
+            // the default matches the figure's subject.
+            let kind = match &args.policy {
+                Some(name) => match ckpt_exp::parse_kind(name) {
+                    Ok(kind) => kind,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                },
+                None if args.experiment == "fig98" => PolicyKind::OptExp,
+                None => PolicyKind::DpNextFailure(Default::default()),
             };
             let weibull = args.experiment == "fig99";
             let mut csv = String::from("model,p,mean_makespan_days\n");

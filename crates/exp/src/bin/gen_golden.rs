@@ -1,0 +1,24 @@
+//! Regenerates the golden results committed under `results/golden/`.
+//!
+//! Run after any change that is *supposed* to move the numbers (e.g. a
+//! seed-label change); the `golden_pipeline` integration test then pins
+//! the new values:
+//!
+//! ```text
+//! cargo run --release -p ckpt-exp --bin gen_golden [OUT_DIR]
+//! ```
+
+use ckpt_exp::golden::{golden_cells, golden_json};
+use ckpt_exp::runner::run_scenario;
+use std::path::PathBuf;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "results/golden".into());
+    std::fs::create_dir_all(&out).expect("create output dir");
+    for (stem, scenario, kinds, options) in golden_cells() {
+        let result = run_scenario(&scenario, &kinds, &options);
+        let path = PathBuf::from(&out).join(format!("{stem}.json"));
+        std::fs::write(&path, golden_json(&result)).expect("write golden file");
+        eprintln!("wrote {}", path.display());
+    }
+}

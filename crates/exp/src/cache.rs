@@ -11,8 +11,9 @@
 
 use crate::scenario::{BuiltDist, Scenario};
 use ckpt_platform::{PlatformEvents, TraceSet};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// One generated trace set with its pre-merged platform event stream.
 #[derive(Debug)]
@@ -68,7 +69,7 @@ impl TraceCache {
             start_bits: scenario.start_time.to_bits(),
             index: index as u64,
         };
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.map.lock().get(&key) {
             return Arc::clone(hit);
         }
         // Generate outside the lock: generation is deterministic, so a
@@ -77,13 +78,13 @@ impl TraceCache {
         let traces = Arc::new(scenario.generate_traces(built, index));
         let events = Arc::new(traces.platform_events());
         let entry = Arc::new(CachedTrace { traces, events });
-        let mut map = self.map.lock().expect("cache lock");
+        let mut map = self.map.lock();
         Arc::clone(map.entry(key).or_insert(entry))
     }
 
     /// Number of cached trace sets.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.map.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -93,7 +94,7 @@ impl TraceCache {
 
     /// Drop every cached trace (frees memory between unrelated sweeps).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        self.map.lock().clear();
     }
 }
 

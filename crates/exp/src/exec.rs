@@ -1,0 +1,321 @@
+//! Execution layer: a generic rayon executor draining a [`SimPlan`].
+//!
+//! [`execute`] is the only place the pipeline touches the engine: it
+//! fetches traces through the shared [`TraceCache`] (`Arc`-shared with
+//! every worker), instantiates the roster through the policy
+//! [`registry`](crate::registry), and drains the plan's task waves with
+//! `drain_wave` — a task-order-preserving `par_iter` map, so every
+//! reduction downstream sees results in plan order and the output is
+//! bit-identical at any thread count.
+//!
+//! Failures are values here: a policy that cannot be instantiated for
+//! the cell (Liu's footnote-2 cases) becomes an [`Error`] stored in
+//! [`ExecOutput::policy_build`] and a column of absent cells — never a
+//! panic, never an aborted scenario. Per-stage wall-clock and work
+//! counters feed the caller's [`PipelinePerf`].
+
+use crate::cache::{CachedTrace, TraceCache};
+use crate::error::Error;
+use crate::perf::PipelinePerf;
+use crate::plan::{self, SimPlan, SimTask};
+use crate::scenario::{BuiltDist, Scenario};
+use ckpt_policies::Policy;
+use ckpt_sim::lower_bound_makespan;
+use ckpt_workload::JobSpec;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One roster-policy simulation result on one trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCell {
+    /// Makespan, seconds.
+    pub makespan: f64,
+    /// Failures hit during the run.
+    pub failures: u64,
+    /// Smallest chunk attempted.
+    pub chunk_min: f64,
+    /// Largest chunk attempted.
+    pub chunk_max: f64,
+}
+
+/// Outcome of the `PeriodLB` candidate search.
+#[derive(Debug, Clone)]
+pub struct SearchOutput {
+    /// Winning factor.
+    pub factor: f64,
+    /// Winning candidate's per-trace makespans, in trace order.
+    pub column: Vec<f64>,
+}
+
+/// Everything the executor measured, keyed back to plan indices.
+pub struct ExecOutput {
+    /// Per roster entry: `Err` ⇒ the policy could not be instantiated
+    /// for this cell (failure as a value, reported as an absent row).
+    pub policy_build: Vec<Result<(), Error>>,
+    /// `cells[policy][trace]`; `None` for unbuildable policies.
+    pub cells: Vec<Vec<Option<PolicyCell>>>,
+    /// Lower-bound makespans in trace order, when the plan enables them.
+    pub lower_bounds: Option<Vec<f64>>,
+    /// `PeriodLB` search outcome, when the plan has a candidate grid.
+    pub search: Option<SearchOutput>,
+}
+
+/// Drain one wave of tasks through rayon. The output preserves task
+/// order (rayon's indexed collect), which is what makes downstream
+/// reductions independent of thread count and scheduling.
+fn drain_wave<T, F>(tasks: &[SimTask], run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(SimTask) -> T + Sync,
+{
+    tasks.par_iter().map(|&t| run(t)).collect()
+}
+
+/// Per-task output of the roster wave.
+enum RosterOutput {
+    Policy { cell: Option<PolicyCell>, decisions: u64, failures: u64 },
+    LowerBound { makespan: f64 },
+}
+
+/// Run one policy session on one cached trace.
+fn simulate_on(
+    spec: &JobSpec,
+    policy: &dyn Policy,
+    ct: &CachedTrace,
+    sim: ckpt_sim::SimOptions,
+) -> ckpt_sim::RunStats {
+    let mut session = policy.session();
+    ckpt_sim::simulate(
+        spec,
+        &mut *session,
+        &ct.events,
+        ct.procs_per_unit(),
+        ct.traces.start_time,
+        ct.traces.horizon,
+        sim,
+    )
+}
+
+/// Execute a plan against a scenario: fetch traces, build the roster,
+/// drain the roster wave, then the candidate waves. Pushes the
+/// `trace_gen`, `policy_sims` and `period_search` stages onto `perf`.
+pub fn execute(
+    scenario: &Scenario,
+    built: &BuiltDist,
+    sim_plan: &SimPlan,
+    perf: &mut PipelinePerf,
+) -> ExecOutput {
+    let spec = scenario.job_spec();
+
+    // Stage 1: trace generation (process-wide cache, shared via Arc).
+    let t_stage = Instant::now();
+    let cache = TraceCache::global();
+    let cached: Vec<Arc<CachedTrace>> = (0..sim_plan.traces)
+        .into_par_iter()
+        .map(|idx| cache.get_or_generate(scenario, built, idx))
+        .collect();
+    perf.push_stage("trace_gen", t_stage, sim_plan.traces as u64);
+
+    // Instantiate the roster once through the registry; sessions are
+    // per-task. Build failures become values.
+    let policies: Vec<Result<Box<dyn Policy>, Error>> = sim_plan
+        .kinds
+        .iter()
+        .map(|k| crate::registry::build_policy(k, scenario, built))
+        .collect();
+
+    // Stage 2: the roster wave (policy sims plus lower bounds).
+    let t_stage = Instant::now();
+    let tasks = sim_plan.roster_wave();
+    let outputs = drain_wave(&tasks, |task| match task {
+        SimTask::Policy { policy, trace } => match &policies[policy] {
+            Ok(p) => {
+                let st = simulate_on(&spec, p.as_ref(), &cached[trace], sim_plan.sim);
+                RosterOutput::Policy {
+                    cell: Some(PolicyCell {
+                        makespan: st.makespan,
+                        failures: st.failures,
+                        chunk_min: st.chunk_min,
+                        chunk_max: st.chunk_max,
+                    }),
+                    decisions: st.decisions,
+                    failures: st.failures,
+                }
+            }
+            Err(_) => RosterOutput::Policy { cell: None, decisions: 0, failures: 0 },
+        },
+        SimTask::LowerBound { trace } => RosterOutput::LowerBound {
+            makespan: lower_bound_makespan(&spec, &cached[trace].traces).makespan,
+        },
+        SimTask::Candidate { .. } => {
+            unreachable!("candidate tasks are drained in the search waves")
+        }
+    });
+    // Scatter task outputs into [policy][trace] matrices (plan order is
+    // preserved by drain_wave, so this is a deterministic transpose).
+    let mut cells: Vec<Vec<Option<PolicyCell>>> =
+        vec![vec![None; sim_plan.traces]; sim_plan.kinds.len()];
+    let mut lower_bounds =
+        sim_plan.lower_bound.then(|| vec![0.0f64; sim_plan.traces]);
+    for (task, out) in tasks.iter().zip(outputs) {
+        match (task, out) {
+            (SimTask::Policy { policy, trace }, RosterOutput::Policy { cell, decisions, failures }) => {
+                cells[*policy][*trace] = cell;
+                perf.decisions += decisions;
+                perf.failures += failures;
+            }
+            (SimTask::LowerBound { trace }, RosterOutput::LowerBound { makespan }) => {
+                if let Some(lb) = &mut lower_bounds {
+                    lb[*trace] = makespan;
+                }
+            }
+            _ => unreachable!("wave outputs align with their tasks"),
+        }
+    }
+    let ran_policies = policies.iter().filter(|b| b.is_ok()).count() as u64;
+    perf.policy_sims = ran_policies * sim_plan.traces as u64;
+    perf.push_stage("policy_sims", t_stage, perf.policy_sims);
+
+    // Stage 3: PeriodLB candidate waves (coarse, then refine).
+    let t_stage = Instant::now();
+    let search = search_candidates(&spec, built, sim_plan, &cached, perf);
+    perf.push_stage("period_search", t_stage, perf.candidate_sims);
+
+    ExecOutput {
+        policy_build: policies.into_iter().map(|r| r.map(|_| ())).collect(),
+        cells,
+        lower_bounds,
+        search,
+    }
+}
+
+/// Drain the candidate waves: evaluate the plan's coarse indices, pick
+/// the incumbent, evaluate the refine window, and return the winner by
+/// mean makespan (ties toward the smaller factor).
+fn search_candidates(
+    spec: &JobSpec,
+    built: &BuiltDist,
+    sim_plan: &SimPlan,
+    cached: &[Arc<CachedTrace>],
+    perf: &mut PipelinePerf,
+) -> Option<SearchOutput> {
+    if sim_plan.grid.is_empty() {
+        return None;
+    }
+    perf.candidate_grid_size = sim_plan.grid.len() as u64;
+    let base = crate::registry::optexp_base(spec, built.proc_mtbf);
+    // columns[candidate] = (per-trace makespans, mean).
+    let mut columns: Vec<Option<(Vec<f64>, f64)>> = vec![None; sim_plan.grid.len()];
+
+    let mut evaluate_wave = |indices: &[usize], columns: &mut Vec<Option<(Vec<f64>, f64)>>| {
+        let fresh: Vec<usize> =
+            indices.iter().copied().filter(|&i| columns[i].is_none()).collect();
+        let tasks = sim_plan.candidate_wave(&fresh);
+        let outputs = drain_wave(&tasks, |task| {
+            let SimTask::Candidate { candidate, trace } = task else {
+                unreachable!("candidate waves contain only candidate tasks")
+            };
+            let policy = base.as_fixed_period().scaled(sim_plan.grid[candidate]);
+            let st = simulate_on(spec, &policy, &cached[trace], sim_plan.sim);
+            (st.makespan, st.decisions, st.failures)
+        });
+        perf.candidate_sims += tasks.len() as u64;
+        for (task, (makespan, decisions, failures)) in tasks.iter().zip(&outputs) {
+            let SimTask::Candidate { candidate, trace } = task else {
+                unreachable!("candidate waves contain only candidate tasks")
+            };
+            let col = &mut columns[*candidate]
+                .get_or_insert_with(|| (vec![0.0; sim_plan.traces], 0.0))
+                .0;
+            col[*trace] = *makespan;
+            perf.decisions += decisions;
+            perf.failures += failures;
+        }
+        // Means in candidate order, summed in trace order: the exact
+        // reduction the monolith performed.
+        for &i in &fresh {
+            if let Some((col, mean)) = &mut columns[i] {
+                *mean = col.iter().sum::<f64>() / col.len().max(1) as f64;
+            }
+        }
+    };
+
+    evaluate_wave(&sim_plan.coarse, &mut columns);
+    if sim_plan.refine_step.is_some() {
+        let means: Vec<Option<f64>> =
+            columns.iter().map(|c| c.as_ref().map(|(_, m)| *m)).collect();
+        if let Some(incumbent) = plan::winner(&means) {
+            let window: Vec<usize> = sim_plan.refine_window(incumbent).collect();
+            evaluate_wave(&window, &mut columns);
+        }
+    }
+
+    let means: Vec<Option<f64>> =
+        columns.iter().map(|c| c.as_ref().map(|(_, m)| *m)).collect();
+    let winner = plan::winner(&means)?;
+    let (column, _) = columns[winner].take()?;
+    Some(SearchOutput { factor: sim_plan.grid[winner], column })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_scenario;
+    use crate::policies_spec::PolicyKind;
+    use crate::runner::{PeriodSearch, RunnerOptions};
+    use crate::scenario::DistSpec;
+    use ckpt_sim::SimOptions;
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::single_processor(
+            DistSpec::Exponential { mtbf: 6.0 * 3_600.0 },
+            4,
+        );
+        s.total_work = 12.0 * 3_600.0;
+        s
+    }
+
+    #[test]
+    fn execute_fills_every_built_policy_cell() {
+        let sc = tiny();
+        let opts = RunnerOptions {
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
+            lower_bound: true,
+            sim: SimOptions::default(),
+        };
+        let sim_plan = plan_scenario(&sc, &[PolicyKind::Young], &opts);
+        let built = sc.dist.build();
+        let mut perf = PipelinePerf::default();
+        let out = execute(&sc, &built, &sim_plan, &mut perf);
+        assert!(out.policy_build[0].is_ok());
+        assert!(out.cells[0].iter().all(Option::is_some));
+        assert_eq!(out.lower_bounds.as_ref().map(Vec::len), Some(4));
+        let s = out.search.expect("grid present");
+        assert_eq!(s.column.len(), 4);
+        assert!([0.5, 1.0, 2.0].contains(&s.factor));
+        assert_eq!(perf.policy_sims, 4);
+        assert_eq!(perf.candidate_sims, 12);
+    }
+
+    #[test]
+    fn unbuildable_policy_is_a_value_not_a_panic() {
+        let year = 365.25 * 86_400.0;
+        let sc = Scenario::petascale(
+            DistSpec::Weibull { shape: 0.3, mtbf: 125.0 * year },
+            4_096,
+            2,
+        );
+        let opts = RunnerOptions { period_lb: None, lower_bound: false, ..Default::default() };
+        let sim_plan = plan_scenario(&sc, &[PolicyKind::Liu], &opts);
+        let built = sc.dist.build();
+        let mut perf = PipelinePerf::default();
+        let out = execute(&sc, &built, &sim_plan, &mut perf);
+        assert!(out.policy_build[0].is_err());
+        assert!(out.cells[0].iter().all(Option::is_none));
+        assert_eq!(perf.policy_sims, 0);
+        assert!(out.search.is_none());
+    }
+}

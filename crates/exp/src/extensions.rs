@@ -38,14 +38,17 @@ pub fn optimal_proc_count(
             let mut sc = scenario_at(p);
             sc.traces = traces;
             let r = crate::runner::run_scenario(&sc, std::slice::from_ref(kind), &opts);
-            (p, r.outcomes[0].mean_makespan.expect("policy ran"))
+            let mk = match r.outcomes[0].mean_makespan {
+                Some(m) => m,
+                None => panic!("policy {} did not run at p = {p}", kind.name()),
+            };
+            (p, mk)
         })
         .collect();
-    let best = series
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-        .expect("non-empty")
-        .0;
+    let best = match series.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+        Some(&(p, _)) => p,
+        None => panic!("optimal_proc_count needs a non-empty processor list"),
+    };
     (series, best)
 }
 

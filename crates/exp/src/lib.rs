@@ -1,17 +1,34 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
+//! The scenario pipeline is three explicit layers plus a thin
+//! orchestrator — `Scenario → SimPlan → ExecOutput → ScenarioResult`:
+//!
 //! * [`scenario`] — a fully-specified experimental cell (failure model,
 //!   platform size, job/overhead models, trace count) and its trace
 //!   generation (prefix-stable across platform sizes, §4.3);
+//! * [`plan`] — pure planning: which sims run (roster policies,
+//!   lower-bound evals, `PeriodLB` candidates), in which waves, as
+//!   typed seed-stable [`SimTask`]s with explicit dependencies;
+//! * [`exec`] — the rayon executor draining a plan against the shared
+//!   trace [`cache`], with policy-build failures as values;
+//! * [`reduce`] — pure aggregation into the §4.1 *average makespan
+//!   degradation* rows;
+//! * [`runner`] — [`run_scenario`] / [`run_scenario_checked`] wiring the
+//!   three layers together, plus the user-facing option/result types;
+//! * [`registry`] — the single `PolicyKind → Box<dyn Policy>`
+//!   construction site (runner, CLI and benches all build here);
 //! * [`policies_spec`] — declarative policy lists instantiated per
 //!   scenario (so e.g. `OptExp` picks up each cell's `p` and `C(p)`);
-//! * [`runner`] — rayon fan-out of every `(trace, policy)` pair, the
-//!   `PeriodLB` search and the omniscient `LowerBound`, and the §4.1
-//!   *average makespan degradation* metric;
+//! * [`study`] — the batch API: one roster + options, many scenarios,
+//!   per-cell `Result`s;
+//! * [`error`] — the experiment-level [`Error`] type (`From`-chained
+//!   over the dist/platform/trace errors);
 //! * [`experiments`] — one entry point per paper artefact (`table2`,
 //!   `fig4`, …) returning typed rows;
 //! * [`output`] — markdown and CSV emitters matching the paper's
-//!   presentation.
+//!   presentation;
+//! * [`golden`] — canonical serialisation and the cells pinned by the
+//!   byte-identical golden-result tests under `results/golden/`.
 //!
 //! The `ckpt-exp` binary exposes all of it from the command line:
 //!
@@ -21,21 +38,35 @@
 //! ckpt-exp matrix --dist weibull --overhead prop --model amdahl-1e-4
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cache;
+pub mod error;
+pub mod exec;
 pub mod experiments;
 pub mod extensions;
+pub mod golden;
 pub mod output;
 pub mod perf;
+pub mod plan;
 pub mod plot;
 pub mod policies_spec;
+pub mod reduce;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod study;
 
 pub use cache::TraceCache;
+pub use error::Error;
 pub use perf::PipelinePerf;
+pub use plan::{plan_scenario, SimPlan, SimTask};
 pub use policies_spec::PolicyKind;
+pub use registry::{build_policy, parse_kind};
 pub use runner::{
-    run_scenario, PeriodSearch, PolicyOutcome, RunnerOptions, ScenarioResult,
+    run_scenario, run_scenario_checked, PeriodSearch, PolicyOutcome, RunnerOptions,
+    ScenarioResult,
 };
 pub use scenario::{DistSpec, Scenario};
+pub use study::Study;

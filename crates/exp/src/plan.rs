@@ -1,0 +1,342 @@
+//! Planning layer: a pure `Scenario → SimPlan` function.
+//!
+//! A [`SimPlan`] is the complete, typed description of the simulation
+//! work one scenario requires — which policies run on which traces,
+//! whether the omniscient lower bound is evaluated, and how the
+//! `PeriodLB` candidate grid is explored. Nothing in this module
+//! generates traces, builds policies, or simulates; those effects live
+//! in [`crate::exec`]. Because every task is identified by stable
+//! indices (policy index, candidate index, trace index) and trace seeds
+//! derive from the scenario label and trace index alone, a plan is
+//! **seed-stable**: executing it with any rayon thread count, in any
+//! task order, yields bit-identical results.
+//!
+//! Dependencies are explicit in the wave structure:
+//!
+//! * [`SimPlan::roster_wave`] — policy sims and lower-bound evals; no
+//!   prerequisites.
+//! * [`SimPlan::coarse`] — the first `PeriodLB` candidate wave; no
+//!   prerequisites (it is a pure function of the grid).
+//! * [`SimPlan::refine_window`] — the second candidate wave *depends on*
+//!   the coarse wave: its indices are a function of the coarse
+//!   incumbent.
+//!
+//! The coarse-to-fine exploration strategy and the process-wide trace
+//! cache are properties of the plan (`search`, `cache_traces`), not
+//! hidden behaviour of the runner.
+
+use crate::policies_spec::PolicyKind;
+use crate::runner::{PeriodSearch, RunnerOptions};
+use crate::scenario::Scenario;
+use ckpt_sim::SimOptions;
+
+/// One deterministic unit of simulation work. All variants are
+/// identified by indices into the owning [`SimPlan`], so tasks are
+/// `Copy` and trivially shippable across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimTask {
+    /// Run roster policy `policy` on trace `trace`.
+    Policy {
+        /// Index into [`SimPlan::kinds`].
+        policy: usize,
+        /// Trace index (also the seed-sequence child index).
+        trace: usize,
+    },
+    /// Evaluate the omniscient lower bound on trace `trace`.
+    LowerBound {
+        /// Trace index.
+        trace: usize,
+    },
+    /// Run `PeriodLB` candidate `candidate` on trace `trace`.
+    Candidate {
+        /// Index into [`SimPlan::grid`].
+        candidate: usize,
+        /// Trace index.
+        trace: usize,
+    },
+}
+
+/// The typed, executable description of one scenario's simulation work.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// Roster policies, in report order.
+    pub kinds: Vec<PolicyKind>,
+    /// Display names, aligned with `kinds`.
+    pub policy_names: Vec<String>,
+    /// Number of traces (tasks exist for indices `0..traces`).
+    pub traces: usize,
+    /// Whether [`SimTask::LowerBound`] tasks are part of the roster wave.
+    pub lower_bound: bool,
+    /// The `PeriodLB` candidate factor grid, sorted ascending and
+    /// deduplicated. Empty ⇒ no period search.
+    pub grid: Vec<f64>,
+    /// Grid indices of the first candidate wave.
+    pub coarse: Vec<usize>,
+    /// `Some(step)` ⇒ a refine wave follows the coarse wave, covering
+    /// [`Self::refine_window`] around the coarse incumbent. `None` ⇒ the
+    /// coarse wave already covers the whole grid.
+    pub refine_step: Option<usize>,
+    /// The exploration strategy the waves were derived from.
+    pub search: PeriodSearch,
+    /// Traces are fetched through the process-wide [`crate::cache::TraceCache`]
+    /// (keyed by scenario label, platform size and trace index), so
+    /// repeated plans for the same cell share generation work.
+    pub cache_traces: bool,
+    /// Engine safety options applied to every simulation.
+    pub sim: SimOptions,
+}
+
+/// Build the [`SimPlan`] for a scenario. Pure: no traces are generated,
+/// no policies are instantiated, nothing is simulated.
+pub fn plan_scenario(
+    scenario: &Scenario,
+    kinds: &[PolicyKind],
+    options: &RunnerOptions,
+) -> SimPlan {
+    let grid = options
+        .period_lb
+        .as_ref()
+        .map(|g| dedupe_sorted(g.clone()))
+        .unwrap_or_default();
+    let (coarse, refine_step) = candidate_waves(&grid, options.period_search);
+    SimPlan {
+        kinds: kinds.to_vec(),
+        policy_names: kinds.iter().map(PolicyKind::name).collect(),
+        traces: scenario.traces,
+        lower_bound: options.lower_bound,
+        grid,
+        coarse,
+        refine_step,
+        search: options.period_search,
+        cache_traces: true,
+        sim: options.sim,
+    }
+}
+
+impl SimPlan {
+    /// The first wave: every roster policy sim plus (when enabled) the
+    /// lower-bound evals. No prerequisites; tasks are independent.
+    pub fn roster_wave(&self) -> Vec<SimTask> {
+        let mut tasks =
+            Vec::with_capacity(self.traces * (self.kinds.len() + usize::from(self.lower_bound)));
+        for trace in 0..self.traces {
+            for policy in 0..self.kinds.len() {
+                tasks.push(SimTask::Policy { policy, trace });
+            }
+            if self.lower_bound {
+                tasks.push(SimTask::LowerBound { trace });
+            }
+        }
+        tasks
+    }
+
+    /// Candidate tasks for a set of grid indices (one per trace).
+    pub fn candidate_wave(&self, indices: &[usize]) -> Vec<SimTask> {
+        indices
+            .iter()
+            .flat_map(|&candidate| {
+                (0..self.traces).map(move |trace| SimTask::Candidate { candidate, trace })
+            })
+            .collect()
+    }
+
+    /// Grid indices of the refine wave, given the coarse incumbent.
+    /// This is the plan's only inter-wave dependency: the window is a
+    /// pure function of which coarse candidate won. Returns an empty
+    /// range when the plan has no refine wave.
+    pub fn refine_window(&self, incumbent: usize) -> std::ops::Range<usize> {
+        match self.refine_step {
+            None => 0..0,
+            Some(step) => {
+                // The coarse neighbours bracket the optimum when the mean
+                // profile is unimodal at coarse resolution.
+                incumbent.saturating_sub(step - 1)..(incumbent + step).min(self.grid.len())
+            }
+        }
+    }
+}
+
+/// Coarse-wave indices and refine step for a (sorted, deduped) grid
+/// under `search`. Pure.
+fn candidate_waves(grid: &[f64], search: PeriodSearch) -> (Vec<usize>, Option<usize>) {
+    let len = grid.len();
+    if len == 0 {
+        return (Vec::new(), None);
+    }
+    match search {
+        PeriodSearch::Full => ((0..len).collect(), None),
+        PeriodSearch::CoarseToFine { coarse_step, min_full } => {
+            if len <= min_full.max(1) {
+                ((0..len).collect(), None)
+            } else {
+                let step = coarse_step.max(2);
+                let mut idx: Vec<usize> = (0..len).step_by(step).collect();
+                idx.push(len - 1);
+                // Always anchor at the factor nearest 1.0 (OptExp itself).
+                if let Some(anchor) = anchor_index(grid) {
+                    idx.push(anchor);
+                }
+                idx.sort_unstable();
+                idx.dedup();
+                (idx, Some(step))
+            }
+        }
+    }
+}
+
+/// Index of the factor nearest 1.0 (OptExp itself) — the coarse wave is
+/// always anchored there. Exposed separately because it needs the
+/// factor values, not just the grid length.
+pub fn anchor_index(grid: &[f64]) -> Option<usize> {
+    (0..grid.len()).min_by(|&a, &b| (grid[a] - 1.0).abs().total_cmp(&(grid[b] - 1.0).abs()))
+}
+
+/// The winner among evaluated candidates: smallest mean makespan, ties
+/// broken toward the smaller factor (deterministic regardless of
+/// exploration order). `means[i]` is `None` for unevaluated candidates.
+pub fn winner(means: &[Option<f64>]) -> Option<usize> {
+    let mut best = None;
+    let mut best_mean = f64::INFINITY;
+    for (i, mean) in means.iter().enumerate() {
+        if let Some(m) = mean {
+            if *m < best_mean {
+                best_mean = *m;
+                best = Some(i);
+            }
+        }
+    }
+    best
+}
+
+/// Sort ascending and drop duplicates (relative tolerance 1e-9 — the
+/// paper's grid reaches the same factor along both of its arms, e.g.
+/// `1.1 = 1 + 0.05·2`).
+pub(crate) fn dedupe_sorted(mut grid: Vec<f64>) -> Vec<f64> {
+    grid.retain(|f| f.is_finite() && *f > 0.0);
+    grid.sort_by(f64::total_cmp);
+    grid.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * b.abs());
+    grid
+}
+
+/// The default `PeriodLB` candidate grid: factors `2^{j/8}` for
+/// `j ∈ [−24, 24]` — a coarser but equally wide net than the paper's
+/// `(1 ± 0.05i, 1.1^j)` grid (which [`paper_period_grid`] reproduces).
+/// Sorted ascending, duplicate-free.
+pub fn default_period_grid() -> Vec<f64> {
+    dedupe_sorted((-24..=24).map(|j| 2f64.powf(j as f64 / 8.0)).collect())
+}
+
+/// The paper's §4.1 grid: `×/÷ (1 + 0.05·i)` for `i ∈ 1..=180` and
+/// `×/÷ 1.1^j` for `j ∈ 1..=60`, plus the identity. Sorted ascending
+/// with the overlapping factors deduplicated (479 candidates; the raw
+/// union counts 481 with `1.1 = 1 + 0.05·2` twice on both arms).
+pub fn paper_period_grid() -> Vec<f64> {
+    let mut g = vec![1.0];
+    for i in 1..=180 {
+        let f = 1.0 + 0.05 * i as f64;
+        g.push(f);
+        g.push(1.0 / f);
+    }
+    for j in 1..=60 {
+        let f = 1.1f64.powi(j);
+        g.push(f);
+        g.push(1.0 / f);
+    }
+    dedupe_sorted(g)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::scenario::DistSpec;
+
+    fn tiny() -> Scenario {
+        Scenario::single_processor(DistSpec::Exponential { mtbf: 6.0 * 3_600.0 }, 3)
+    }
+
+    #[test]
+    fn plan_is_pure_and_typed() {
+        let sc = tiny();
+        let kinds = [PolicyKind::Young, PolicyKind::OptExp];
+        let plan = plan_scenario(&sc, &kinds, &RunnerOptions::default());
+        assert_eq!(plan.policy_names, ["Young", "OptExp"]);
+        assert_eq!(plan.traces, 3);
+        // Default grid: 49 factors, coarse-to-fine with step 8.
+        assert_eq!(plan.grid.len(), 49);
+        assert_eq!(plan.refine_step, Some(8));
+        // Roster wave: 2 policies × 3 traces + 3 lower bounds.
+        let wave = plan.roster_wave();
+        assert_eq!(wave.len(), 9);
+        assert_eq!(wave[0], SimTask::Policy { policy: 0, trace: 0 });
+        assert_eq!(wave[2], SimTask::LowerBound { trace: 0 });
+    }
+
+    #[test]
+    fn full_search_has_no_refine_wave() {
+        let sc = tiny();
+        let opts = RunnerOptions {
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
+            ..RunnerOptions::default()
+        };
+        let plan = plan_scenario(&sc, &[], &opts);
+        assert_eq!(plan.coarse, [0, 1, 2]);
+        assert_eq!(plan.refine_step, None);
+        assert_eq!(plan.refine_window(1), 0..0);
+    }
+
+    #[test]
+    fn small_grids_are_searched_exhaustively_under_coarse_to_fine() {
+        let sc = tiny();
+        let opts = RunnerOptions {
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            ..RunnerOptions::default()
+        };
+        let plan = plan_scenario(&sc, &[], &opts);
+        assert_eq!(plan.coarse, [0, 1, 2]);
+        assert_eq!(plan.refine_step, None);
+    }
+
+    #[test]
+    fn coarse_wave_strides_and_includes_last() {
+        let sc = tiny();
+        let opts = RunnerOptions {
+            period_lb: Some(paper_period_grid()),
+            ..RunnerOptions::default()
+        };
+        let plan = plan_scenario(&sc, &[], &opts);
+        assert_eq!(plan.grid.len(), 479);
+        assert_eq!(plan.coarse.first(), Some(&0));
+        assert_eq!(plan.coarse.last(), Some(&478));
+        assert!(plan.coarse.len() < 70);
+        // Refine window brackets the incumbent between coarse neighbours.
+        assert_eq!(plan.refine_window(16), 9..24);
+        assert_eq!(plan.refine_window(0), 0..8);
+        assert_eq!(plan.refine_window(478), 471..479);
+    }
+
+    #[test]
+    fn winner_prefers_smallest_mean_then_smallest_index() {
+        assert_eq!(winner(&[None, Some(2.0), Some(1.0), Some(1.0)]), Some(2));
+        assert_eq!(winner(&[None, None]), None);
+        assert_eq!(winner(&[]), None);
+    }
+
+    #[test]
+    fn anchor_is_nearest_one() {
+        assert_eq!(anchor_index(&[0.25, 0.9, 1.2, 4.0]), Some(1));
+        assert_eq!(anchor_index(&[]), None);
+    }
+
+    #[test]
+    fn grids_are_sorted_and_deduped() {
+        for grid in [default_period_grid(), paper_period_grid()] {
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1], "sorted strictly: {} vs {}", w[0], w[1]);
+            }
+        }
+        assert_eq!(paper_period_grid().len(), 479);
+        assert!(paper_period_grid().contains(&1.0));
+    }
+}

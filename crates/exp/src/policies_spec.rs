@@ -1,11 +1,8 @@
 //! Declarative policy lists, instantiated per scenario.
 
+use crate::error::Error;
 use crate::scenario::{BuiltDist, Scenario};
-use ckpt_dist::{Exponential, MinOf, Weibull};
-use ckpt_policies::{
-    daly_high, daly_low, young, Bouguerra, DpMakespan, DpMakespanConfig, DpNextFailure,
-    DpNextFailureConfig, Liu, OptExp, Policy,
-};
+use ckpt_policies::{DpMakespanConfig, DpNextFailureConfig, Policy};
 
 /// Which policy to instantiate for a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,64 +59,17 @@ impl PolicyKind {
         ]
     }
 
-    /// Instantiate for a scenario. `Err` carries the reason a policy
-    /// cannot produce a meaningful schedule (Liu's `interval < C` case),
-    /// reported as a gap exactly like the paper's incomplete curves.
+    /// Instantiate for a scenario — a thin forwarder to the single
+    /// construction site, [`crate::registry::build_policy`]. `Err` carries
+    /// the reason a policy cannot produce a meaningful schedule (Liu's
+    /// `interval < C` case), reported as a gap exactly like the paper's
+    /// incomplete curves.
     pub fn build(
         &self,
         scenario: &Scenario,
         built: &BuiltDist,
-    ) -> Result<Box<dyn Policy>, String> {
-        let spec = scenario.job_spec();
-        let proc_mtbf = built.proc_mtbf;
-        match self {
-            Self::Young => Ok(Box::new(young(&spec, proc_mtbf))),
-            Self::DalyLow => Ok(Box::new(daly_low(&spec, proc_mtbf))),
-            Self::DalyHigh => Ok(Box::new(daly_high(&spec, proc_mtbf))),
-            Self::OptExp => Ok(Box::new(OptExp::from_mtbf(&spec, proc_mtbf))),
-            Self::OptExpScaled(f) => Ok(Box::new(
-                OptExp::from_mtbf(&spec, proc_mtbf).as_fixed_period().scaled(*f),
-            )),
-            Self::Bouguerra => {
-                // The rejuvenated-platform distribution: minimum over all
-                // enrolled processors (units scaled accordingly).
-                let units = built.topology.units_for_procs(scenario.procs) as u64;
-                let plat = MinOf::new(built.dist.clone_box(), units.max(1));
-                Ok(Box::new(Bouguerra::new(&spec, &plat)))
-            }
-            Self::Liu => {
-                let Some(shape) = built.weibull_shape else {
-                    return Err("Liu requires a Weibull (or Exponential) fit".to_string());
-                };
-                let proc = Weibull::from_mtbf(shape, proc_mtbf);
-                Liu::new(&spec, &proc).map(|l| Box::new(l) as Box<dyn Policy>)
-            }
-            Self::DpNextFailure(cfg) => Ok(Box::new(DpNextFailure::new(
-                &spec,
-                built.dist.clone_box(),
-                proc_mtbf,
-                *cfg,
-            ))),
-            Self::DpMakespan(cfg) => {
-                // p = 1: the true distribution. p > 1: the paper's "false
-                // assumption" — the rejuvenated platform distribution
-                // (macro-processor pλ for Exponential, min-of-p otherwise).
-                let units = built.topology.units_for_procs(scenario.procs) as u64;
-                let mut cfg = *cfg;
-                let dist: Box<dyn ckpt_dist::FailureDistribution> = if units <= 1 {
-                    built.dist.clone_box()
-                } else if built.weibull_shape == Some(1.0) {
-                    cfg.assume_memoryless = true;
-                    Box::new(Exponential::from_mtbf(proc_mtbf / scenario.procs as f64))
-                } else {
-                    Box::new(MinOf::new(built.dist.clone_box(), units))
-                };
-                if built.weibull_shape == Some(1.0) {
-                    cfg.assume_memoryless = true;
-                }
-                Ok(Box::new(DpMakespan::new(&spec, dist, cfg)))
-            }
-        }
+    ) -> Result<Box<dyn Policy>, Error> {
+        crate::registry::build_policy(self, scenario, built)
     }
 
     /// Display name (matches the paper's legends).

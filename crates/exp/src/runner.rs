@@ -1,19 +1,27 @@
-//! Scenario runner: staged pipeline (trace cache → policy sims →
-//! PeriodLB search → aggregation) with rayon fan-out, the omniscient
-//! LowerBound, the §4.1 average-makespan-degradation metric, and
-//! per-stage perf instrumentation.
+//! Scenario runner: the thin orchestrator of the plan → execute →
+//! reduce pipeline.
+//!
+//! [`run_scenario_checked`] is three calls:
+//!
+//! 1. [`crate::plan::plan_scenario`] — pure `Scenario → SimPlan`
+//!    (which sims run, in which waves, on which traces);
+//! 2. [`crate::exec::execute`] — the rayon executor draining the plan
+//!    against cached traces, with policy-build failures as values;
+//! 3. [`crate::reduce::reduce`] — fold into the §4.1 degradation rows.
+//!
+//! This module keeps the user-facing types: [`RunnerOptions`],
+//! [`PeriodSearch`], [`PolicyOutcome`], [`ScenarioResult`], and the
+//! period factor grids (re-exported from [`crate::plan`]).
 
-use crate::cache::{CachedTrace, TraceCache};
+use crate::error::Error;
 use crate::perf::PipelinePerf;
 use crate::policies_spec::PolicyKind;
 use crate::scenario::Scenario;
-use ckpt_math::Summary;
-use ckpt_policies::Policy;
-use ckpt_sim::{lower_bound_makespan, SimOptions};
-use rayon::prelude::*;
+use ckpt_sim::SimOptions;
 use serde::Serialize;
-use std::sync::Arc;
 use std::time::Instant;
+
+pub use crate::plan::{default_period_grid, paper_period_grid};
 
 /// How `PeriodLB` explores its candidate factor grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,43 +81,6 @@ impl RunnerOptions {
     }
 }
 
-/// Sort ascending and drop duplicates (relative tolerance 1e-9 — the
-/// paper's grid reaches the same factor along both of its arms, e.g.
-/// `1.1 = 1 + 0.05·2`).
-fn dedupe_sorted(mut grid: Vec<f64>) -> Vec<f64> {
-    grid.retain(|f| f.is_finite() && *f > 0.0);
-    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite factors"));
-    grid.dedup_by(|a, b| (*a - *b).abs() <= 1e-9 * b.abs());
-    grid
-}
-
-/// The default `PeriodLB` candidate grid: factors `2^{j/8}` for
-/// `j ∈ [−24, 24]` — a coarser but equally wide net than the paper's
-/// `(1 ± 0.05i, 1.1^j)` grid (which [`paper_period_grid`] reproduces).
-/// Sorted ascending, duplicate-free.
-pub fn default_period_grid() -> Vec<f64> {
-    dedupe_sorted((-24..=24).map(|j| 2f64.powf(j as f64 / 8.0)).collect())
-}
-
-/// The paper's §4.1 grid: `×/÷ (1 + 0.05·i)` for `i ∈ 1..=180` and
-/// `×/÷ 1.1^j` for `j ∈ 1..=60`, plus the identity. Sorted ascending
-/// with the overlapping factors deduplicated (479 candidates; the raw
-/// union counts 481 with `1.1 = 1 + 0.05·2` twice on both arms).
-pub fn paper_period_grid() -> Vec<f64> {
-    let mut g = vec![1.0];
-    for i in 1..=180 {
-        let f = 1.0 + 0.05 * i as f64;
-        g.push(f);
-        g.push(1.0 / f);
-    }
-    for j in 1..=60 {
-        let f = 1.1f64.powi(j);
-        g.push(f);
-        g.push(1.0 / f);
-    }
-    dedupe_sorted(g)
-}
-
 /// Result row for one policy in one scenario.
 #[derive(Debug, Clone, Serialize)]
 pub struct PolicyOutcome {
@@ -135,7 +106,7 @@ pub struct PolicyOutcome {
 }
 
 impl PolicyOutcome {
-    fn absent(name: &str, error: String) -> Self {
+    pub(crate) fn absent(name: &str, error: String) -> Self {
         Self {
             name: name.to_string(),
             avg_degradation: None,
@@ -168,30 +139,22 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
-    /// Look up a row by name.
+    /// Look up a row by name, case-insensitively (row names are unique
+    /// up to case: `LowerBound`, `PeriodLB`, and the registry names).
     pub fn get(&self, name: &str) -> Option<&PolicyOutcome> {
-        self.outcomes.iter().find(|o| o.name == name)
+        self.outcomes.iter().find(|o| o.name.eq_ignore_ascii_case(name))
     }
-}
 
-/// Per-trace simulation results for the policy roster.
-struct PolicyRow {
-    makespans: Vec<Option<(f64, u64, f64, f64)>>, // (makespan, failures, cmin, cmax)
-    lower_bound: Option<f64>,
-    decisions: u64,
-    failures: u64,
-}
-
-/// Outcome of the PeriodLB search.
-struct PeriodSearchResult {
-    /// Winning factor.
-    factor: f64,
-    /// Winning candidate's per-trace makespans.
-    column: Vec<f64>,
-    /// Candidate simulations actually run.
-    sims: u64,
-    decisions: u64,
-    failures: u64,
+    /// Like [`Self::get`], but a miss names every row this result holds.
+    ///
+    /// # Errors
+    /// [`Error::UnknownPolicy`] listing the available row names.
+    pub fn lookup(&self, name: &str) -> Result<&PolicyOutcome, Error> {
+        self.get(name).ok_or_else(|| Error::UnknownPolicy {
+            requested: name.to_string(),
+            known: self.outcomes.iter().map(|o| o.name.clone()).collect(),
+        })
+    }
 }
 
 /// Run `kinds` (plus optional LowerBound / PeriodLB) on a scenario.
@@ -202,336 +165,47 @@ struct PeriodSearchResult {
 /// Traces where *no* policy produced a makespan are excluded from the
 /// averages; if that leaves nothing, each row reports an error instead
 /// of panicking.
+///
+/// # Panics
+/// When the scenario itself is malformed (its distribution cannot be
+/// built) — use [`run_scenario_checked`] to handle that as a value.
+/// Per-policy failures never panic; they become error rows.
 pub fn run_scenario(
     scenario: &Scenario,
     kinds: &[PolicyKind],
     options: &RunnerOptions,
 ) -> ScenarioResult {
+    match run_scenario_checked(scenario, kinds, options) {
+        Ok(r) => r,
+        Err(e) => panic!("scenario {}: {e}", scenario.label),
+    }
+}
+
+/// [`run_scenario`] with scenario-level failures as values.
+///
+/// # Errors
+/// Anything that prevents the cell from running at all — a distribution
+/// that cannot be built ([`Error::Dist`], [`Error::Trace`]). Per-policy
+/// failures are *not* errors; they surface as rows with
+/// [`PolicyOutcome::error`] set.
+pub fn run_scenario_checked(
+    scenario: &Scenario,
+    kinds: &[PolicyKind],
+    options: &RunnerOptions,
+) -> Result<ScenarioResult, Error> {
     let t_total = Instant::now();
     let mut perf = PipelinePerf::default();
-    let built = scenario.dist.build();
-    let spec = scenario.job_spec();
-
-    // Stage 1: trace generation (process-wide cache, shared via Arc).
-    let t_stage = Instant::now();
-    let cache = TraceCache::global();
-    let cached: Vec<Arc<CachedTrace>> = (0..scenario.traces)
-        .into_par_iter()
-        .map(|idx| cache.get_or_generate(scenario, &built, idx))
-        .collect();
-    perf.push_stage("trace_gen", t_stage, scenario.traces as u64);
-
-    // Instantiate policies once; sessions are per-trace.
-    type BuiltPolicy = (String, Result<Box<dyn Policy>, String>);
-    let policies: Vec<BuiltPolicy> = kinds
-        .iter()
-        .map(|k| (k.name(), k.build(scenario, &built)))
-        .collect();
-
-    // Stage 2: policy roster simulations (plus LowerBound).
-    let t_stage = Instant::now();
-    let rows: Vec<PolicyRow> = cached
-        .par_iter()
-        .map(|ct| {
-            let ppu = ct.procs_per_unit();
-            let mut makespans = Vec::with_capacity(policies.len());
-            let mut decisions = 0u64;
-            let mut failures = 0u64;
-            for (_, built_policy) in &policies {
-                match built_policy {
-                    Ok(p) => {
-                        let mut session = p.session();
-                        let st = ckpt_sim::simulate(
-                            &spec,
-                            &mut *session,
-                            &ct.events,
-                            ppu,
-                            ct.traces.start_time,
-                            ct.traces.horizon,
-                            options.sim,
-                        );
-                        decisions += st.decisions;
-                        failures += st.failures;
-                        makespans.push(Some((st.makespan, st.failures, st.chunk_min, st.chunk_max)));
-                    }
-                    Err(_) => makespans.push(None),
-                }
-            }
-            let lower_bound = options
-                .lower_bound
-                .then(|| lower_bound_makespan(&spec, &ct.traces).makespan);
-            PolicyRow { makespans, lower_bound, decisions, failures }
-        })
-        .collect();
-    let ran_policies = policies.iter().filter(|(_, b)| b.is_ok()).count() as u64;
-    perf.policy_sims = ran_policies * scenario.traces as u64;
-    perf.decisions += rows.iter().map(|r| r.decisions).sum::<u64>();
-    perf.failures += rows.iter().map(|r| r.failures).sum::<u64>();
-    perf.push_stage("policy_sims", t_stage, perf.policy_sims);
-
-    // Stage 3: PeriodLB candidate search.
-    let t_stage = Instant::now();
-    let search = options.period_lb.as_ref().and_then(|grid| {
-        let grid = dedupe_sorted(grid.clone());
-        if grid.is_empty() {
-            return None;
-        }
-        perf.candidate_grid_size = grid.len() as u64;
-        Some(search_period_grid(&spec, &built, &cached, &grid, options))
-    });
-    if let Some(s) = &search {
-        perf.candidate_sims = s.sims;
-        perf.decisions += s.decisions;
-        perf.failures += s.failures;
-    }
-    perf.push_stage("period_search", t_stage, perf.candidate_sims);
-
-    // Stage 4: aggregation — §4.1 degradation metric over the per-trace
-    // best heuristic (incl. PeriodLB, excl. LowerBound).
-    let t_stage = Instant::now();
-    let trace_best: Vec<Option<f64>> = (0..scenario.traces)
-        .map(|i| {
-            let mut best = f64::INFINITY;
-            for m in rows[i].makespans.iter().flatten() {
-                best = best.min(m.0);
-            }
-            if let Some(s) = &search {
-                best = best.min(s.column[i]);
-            }
-            best.is_finite().then_some(best)
-        })
-        .collect();
-    let no_baseline =
-        || "no policy produced a makespan on any trace (degradation undefined)".to_string();
-
-    let mut outcomes = Vec::new();
-    if options.lower_bound {
-        let samples: Vec<(f64, f64)> = rows
-            .iter()
-            .zip(&trace_best)
-            .filter_map(|(r, b)| {
-                let lb = r.lower_bound.expect("lower bound enabled");
-                b.map(|b| (lb, lb / b))
-            })
-            .collect();
-        if samples.is_empty() {
-            outcomes.push(PolicyOutcome::absent("LowerBound", no_baseline()));
-        } else {
-            let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
-            let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let s = Summary::from_samples(&degr);
-            outcomes.push(PolicyOutcome {
-                name: "LowerBound".into(),
-                avg_degradation: Some(s.mean()),
-                std_degradation: Some(s.std_dev()),
-                mean_makespan: Some(Summary::from_samples(&mks).mean()),
-                mean_failures: None,
-                max_failures: None,
-                chunk_range: None,
-                period_factor: None,
-                error: None,
-            });
-        }
-    }
-    let period_lb_factor = search.as_ref().map(|s| s.factor);
-    if let Some(sr) = &search {
-        let samples: Vec<(f64, f64)> = sr
-            .column
-            .iter()
-            .zip(&trace_best)
-            .filter_map(|(&m, b)| b.map(|b| (m, m / b)))
-            .collect();
-        if samples.is_empty() {
-            outcomes.push(PolicyOutcome::absent("PeriodLB", no_baseline()));
-        } else {
-            let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
-            let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let s = Summary::from_samples(&degr);
-            outcomes.push(PolicyOutcome {
-                name: "PeriodLB".into(),
-                avg_degradation: Some(s.mean()),
-                std_degradation: Some(s.std_dev()),
-                mean_makespan: Some(Summary::from_samples(&mks).mean()),
-                mean_failures: None,
-                max_failures: None,
-                chunk_range: None,
-                period_factor: Some(sr.factor),
-                error: None,
-            });
-        }
-    }
-    for (j, (name, built_policy)) in policies.iter().enumerate() {
-        match built_policy {
-            Ok(_) => {
-                let per_trace: Vec<(f64, u64, f64, f64)> =
-                    rows.iter().map(|r| r.makespans[j].expect("ran")).collect();
-                let samples: Vec<(f64, f64)> = per_trace
-                    .iter()
-                    .zip(&trace_best)
-                    .filter_map(|(m, b)| b.map(|b| (m.0, m.0 / b)))
-                    .collect();
-                if samples.is_empty() {
-                    outcomes.push(PolicyOutcome::absent(name, no_baseline()));
-                    continue;
-                }
-                let degr: Vec<f64> = samples.iter().map(|s| s.1).collect();
-                let mks: Vec<f64> = samples.iter().map(|s| s.0).collect();
-                let s = Summary::from_samples(&degr);
-                let fails: Vec<f64> = per_trace.iter().map(|m| m.1 as f64).collect();
-                let cmin = per_trace.iter().map(|m| m.2).fold(f64::INFINITY, f64::min);
-                let cmax = per_trace.iter().map(|m| m.3).fold(0.0f64, f64::max);
-                outcomes.push(PolicyOutcome {
-                    name: name.clone(),
-                    avg_degradation: Some(s.mean()),
-                    std_degradation: Some(s.std_dev()),
-                    mean_makespan: Some(Summary::from_samples(&mks).mean()),
-                    mean_failures: Some(Summary::from_samples(&fails).mean()),
-                    max_failures: per_trace.iter().map(|m| m.1).max(),
-                    chunk_range: Some((cmin, cmax)),
-                    period_factor: None,
-                    error: None,
-                });
-            }
-            Err(e) => outcomes.push(PolicyOutcome::absent(name, e.clone())),
-        }
-    }
-    perf.push_stage("aggregate", t_stage, outcomes.len() as u64);
+    let built = scenario.dist.try_build()?;
+    let sim_plan = crate::plan::plan_scenario(scenario, kinds, options);
+    let out = crate::exec::execute(scenario, &built, &sim_plan, &mut perf);
+    let mut result = crate::reduce::reduce(scenario, &sim_plan, &out, &mut perf);
     perf.total_seconds = t_total.elapsed().as_secs_f64();
-
-    ScenarioResult {
-        label: scenario.label.clone(),
-        procs: scenario.procs,
-        traces: scenario.traces,
-        outcomes,
-        period_lb_factor,
-        perf,
-    }
-}
-
-/// Simulate `factor × OptExp period` on every trace; returns the
-/// per-trace makespans plus decision/failure counts.
-fn simulate_candidate(
-    spec: &ckpt_workload::JobSpec,
-    base: &ckpt_policies::OptExp,
-    factor: f64,
-    cached: &[Arc<CachedTrace>],
-    options: &RunnerOptions,
-) -> (Vec<f64>, u64, u64) {
-    let policy = base.as_fixed_period().scaled(factor);
-    let stats: Vec<_> = cached
-        .par_iter()
-        .map(|ct| {
-            let mut session = policy.session();
-            let st = ckpt_sim::simulate(
-                spec,
-                &mut *session,
-                &ct.events,
-                ct.procs_per_unit(),
-                ct.traces.start_time,
-                ct.traces.horizon,
-                options.sim,
-            );
-            (st.makespan, st.decisions, st.failures)
-        })
-        .collect();
-    let decisions = stats.iter().map(|s| s.1).sum();
-    let failures = stats.iter().map(|s| s.2).sum();
-    (stats.into_iter().map(|s| s.0).collect(), decisions, failures)
-}
-
-/// Explore the (sorted, deduped) factor grid per `options.period_search`
-/// and return the winner by mean makespan. Ties break toward the
-/// smaller factor (deterministic regardless of exploration order).
-fn search_period_grid(
-    spec: &ckpt_workload::JobSpec,
-    built: &crate::scenario::BuiltDist,
-    cached: &[Arc<CachedTrace>],
-    grid: &[f64],
-    options: &RunnerOptions,
-) -> PeriodSearchResult {
-    let base = ckpt_policies::OptExp::from_mtbf(spec, built.proc_mtbf);
-    let mut columns: Vec<Option<(Vec<f64>, f64)>> = vec![None; grid.len()]; // (makespans, mean)
-    let mut decisions = 0u64;
-    let mut failures = 0u64;
-    let mut sims = 0u64;
-    let evaluate = |i: usize,
-                        columns: &mut Vec<Option<(Vec<f64>, f64)>>,
-                        decisions: &mut u64,
-                        failures: &mut u64,
-                        sims: &mut u64| {
-        if columns[i].is_none() {
-            let (col, d, f) = simulate_candidate(spec, &base, grid[i], cached, options);
-            *sims += col.len() as u64;
-            *decisions += d;
-            *failures += f;
-            let mean = col.iter().sum::<f64>() / col.len().max(1) as f64;
-            columns[i] = Some((col, mean));
-        }
-    };
-
-    let coarse: Vec<usize> = match options.period_search {
-        PeriodSearch::Full => (0..grid.len()).collect(),
-        PeriodSearch::CoarseToFine { coarse_step, min_full } => {
-            if grid.len() <= min_full.max(1) {
-                (0..grid.len()).collect()
-            } else {
-                let step = coarse_step.max(2);
-                let mut idx: Vec<usize> = (0..grid.len()).step_by(step).collect();
-                idx.push(grid.len() - 1);
-                // Always anchor at the factor nearest 1.0 (OptExp itself).
-                let anchor = (0..grid.len())
-                    .min_by(|&a, &b| {
-                        (grid[a] - 1.0)
-                            .abs()
-                            .partial_cmp(&(grid[b] - 1.0).abs())
-                            .expect("finite")
-                    })
-                    .expect("non-empty grid");
-                idx.push(anchor);
-                idx.sort_unstable();
-                idx.dedup();
-                idx
-            }
-        }
-    };
-    for &i in &coarse {
-        evaluate(i, &mut columns, &mut decisions, &mut failures, &mut sims);
-    }
-    let best_of = |columns: &Vec<Option<(Vec<f64>, f64)>>| -> usize {
-        let mut best = usize::MAX;
-        let mut best_mean = f64::INFINITY;
-        for (i, c) in columns.iter().enumerate() {
-            if let Some((_, mean)) = c {
-                if *mean < best_mean {
-                    best_mean = *mean;
-                    best = i;
-                }
-            }
-        }
-        best
-    };
-
-    if let PeriodSearch::CoarseToFine { coarse_step, min_full } = options.period_search {
-        if grid.len() > min_full.max(1) {
-            let step = coarse_step.max(2);
-            // Refine exhaustively between the coarse neighbours of the
-            // incumbent (they bracket the optimum when the mean profile
-            // is unimodal at coarse resolution).
-            let incumbent = best_of(&columns);
-            let lo = incumbent.saturating_sub(step - 1);
-            let hi = (incumbent + step).min(grid.len());
-            for i in lo..hi {
-                evaluate(i, &mut columns, &mut decisions, &mut failures, &mut sims);
-            }
-        }
-    }
-
-    let winner = best_of(&columns);
-    let (column, _) = columns[winner].take().expect("winner evaluated");
-    PeriodSearchResult { factor: grid[winner], column, sims, decisions, failures }
+    result.perf = perf;
+    Ok(result)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::scenario::DistSpec;
@@ -570,6 +244,35 @@ mod tests {
             let o = r.get(name).expect(name);
             assert!(o.avg_degradation.expect("ran") >= 1.0 - 1e-12, "{name}");
         }
+    }
+
+    #[test]
+    fn checked_form_returns_ok_and_matches() {
+        let sc = tiny_scenario();
+        let kinds = [PolicyKind::Young];
+        let a = run_scenario(&sc, &kinds, &fast_options());
+        let b = run_scenario_checked(&sc, &kinds, &fast_options()).expect("well-formed cell");
+        assert_eq!(
+            a.get("Young").expect("row").mean_makespan,
+            b.get("Young").expect("row").mean_makespan
+        );
+    }
+
+    #[test]
+    fn get_is_case_insensitive_and_lookup_names_rows() {
+        let sc = tiny_scenario();
+        let r = run_scenario(&sc, &[PolicyKind::Young], &fast_options());
+        assert!(r.get("young").is_some());
+        assert!(r.get("PERIODLB").is_some());
+        assert_eq!(
+            r.lookup("lowerbound").expect("row").name,
+            "LowerBound"
+        );
+        let Err(Error::UnknownPolicy { requested, known }) = r.lookup("Daly") else {
+            panic!("miss must list known rows");
+        };
+        assert_eq!(requested, "Daly");
+        assert_eq!(known, ["LowerBound", "PeriodLB", "Young"]);
     }
 
     #[test]
@@ -652,8 +355,8 @@ mod tests {
     #[test]
     fn results_identical_across_thread_counts() {
         // The pipeline must be bit-identical regardless of rayon
-        // parallelism: per-trace work is independent and reduction order
-        // is fixed by trace index.
+        // parallelism: per-task work is independent and every reduction
+        // happens in plan order (trace index, candidate index).
         let sc = tiny_scenario();
         let kinds = [PolicyKind::Young, PolicyKind::OptExp];
         let run_with = |threads: usize| {
@@ -671,19 +374,6 @@ mod tests {
             assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
             assert_eq!(a.avg_degradation, b.avg_degradation, "{}", a.name);
         }
-    }
-
-    #[test]
-    fn grids_are_sorted_and_deduped() {
-        for grid in [default_period_grid(), paper_period_grid()] {
-            for w in grid.windows(2) {
-                assert!(w[0] < w[1], "sorted strictly: {} vs {}", w[0], w[1]);
-            }
-        }
-        // The raw paper grid contains 1.1 and 1/1.1 on both arms; after
-        // dedup the count drops from 481 to 479.
-        assert_eq!(paper_period_grid().len(), 479);
-        assert!(paper_period_grid().contains(&1.0));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Experimental cells and their (prefix-stable) trace generation.
 
+use crate::error::Error;
 use ckpt_math::SeedSequence;
 use ckpt_dist::{Exponential, FailureDistribution, GammaDist, LogNormal, Weibull};
 use ckpt_platform::{Topology, TraceSet};
-use ckpt_traces::synthetic_lanl_cluster;
+use ckpt_traces::try_synthetic_lanl_cluster;
 use ckpt_workload::{JobSpec, OverheadModel, ParallelismModel, DAY, YEAR};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -45,15 +46,40 @@ pub enum DistSpec {
     },
 }
 
+/// Render a shape-like parameter as a fixed-width, filename-safe token:
+/// four decimals, zero-padded to eight characters, decimal point as `p`
+/// (`0.7` → `000p7000`). Fixed width makes labels sort lexicographically
+/// and kills the `1` vs `1.0` spelling collision of raw `{}` interpolation.
+fn shape_token(x: f64) -> String {
+    format!("{x:08.4}").replace('.', "p")
+}
+
+/// Render an MTBF-like parameter (seconds, effectively integral) as a
+/// twelve-digit zero-padded token so labels sort numerically.
+fn mtbf_token(x: f64) -> String {
+    format!("{x:012.0}")
+}
+
 impl DistSpec {
-    /// Short label for file names and seeds.
+    /// Short label for file names and seeds: filename-safe (no `.`),
+    /// fixed-width (labels sort lexicographically = numerically), and
+    /// collision-free across parameter spellings.
+    ///
+    /// **This label seeds trace generation** — changing the format changes
+    /// every downstream number, so it is covered by the golden test.
     pub fn label(&self) -> String {
         match self {
-            Self::Exponential { mtbf } => format!("exp-{:.0}", mtbf),
-            Self::Weibull { shape, mtbf } => format!("weibull{shape}-{mtbf:.0}"),
-            Self::LogNormal { sigma, mtbf } => format!("lognormal{sigma}-{mtbf:.0}"),
-            Self::Gamma { shape, mtbf } => format!("gamma{shape}-{mtbf:.0}"),
-            Self::LanlLog { cluster } => format!("lanl{cluster}"),
+            Self::Exponential { mtbf } => format!("exp-{}", mtbf_token(*mtbf)),
+            Self::Weibull { shape, mtbf } => {
+                format!("weibull{}-{}", shape_token(*shape), mtbf_token(*mtbf))
+            }
+            Self::LogNormal { sigma, mtbf } => {
+                format!("lognormal{}-{}", shape_token(*sigma), mtbf_token(*mtbf))
+            }
+            Self::Gamma { shape, mtbf } => {
+                format!("gamma{}-{}", shape_token(*shape), mtbf_token(*mtbf))
+            }
+            Self::LanlLog { cluster } => format!("lanl{cluster:02}"),
         }
     }
 }
@@ -79,8 +105,21 @@ pub struct BuiltDist {
 impl DistSpec {
     /// Materialise the distribution (generating the synthetic log for
     /// `LanlLog`, deterministic per cluster id).
+    ///
+    /// # Panics
+    /// Panics when the model cannot be materialised (unknown LANL cluster
+    /// id); the fallible form is [`DistSpec::try_build`].
     pub fn build(&self) -> BuiltDist {
-        match *self {
+        match self.try_build() {
+            Ok(b) => b,
+            Err(e) => panic!("DistSpec::build: {e}"),
+        }
+    }
+
+    /// Fallible form of [`DistSpec::build`], reporting an unmodelled LANL
+    /// cluster or a degenerate log as a typed [`Error`].
+    pub fn try_build(&self) -> Result<BuiltDist, Error> {
+        Ok(match *self {
             Self::Exponential { mtbf } => BuiltDist {
                 dist: Arc::new(Exponential::from_mtbf(mtbf)),
                 topology: Topology::per_processor(),
@@ -106,14 +145,14 @@ impl DistSpec {
                 weibull_shape: None,
             },
             Self::LanlLog { cluster } => {
-                let log = synthetic_lanl_cluster(
+                let log = try_synthetic_lanl_cluster(
                     cluster,
                     SeedSequence::from_label(&format!("lanl-log-{cluster}")),
-                );
+                )?;
                 let node_mtbf = log.empirical_mtbf();
                 let procs_per_node = log.procs_per_node;
                 BuiltDist {
-                    dist: Arc::new(log.empirical_distribution()),
+                    dist: Arc::new(log.try_empirical_distribution()?),
                     topology: Topology::nodes_of(procs_per_node),
                     // A node failure takes down `procs_per_node`
                     // processors at once, so the platform failure rate is
@@ -123,7 +162,7 @@ impl DistSpec {
                     weibull_shape: None,
                 }
             }
-        }
+        })
     }
 }
 
@@ -215,16 +254,33 @@ impl Scenario {
 
     /// Generate the `index`-th trace set (deterministic; prefix-stable
     /// across processor counts for a fixed label).
+    ///
+    /// # Panics
+    /// Panics on a degenerate cell (zero units, non-finite horizon);
+    /// the fallible form is [`Scenario::try_generate_traces`].
     pub fn generate_traces(&self, built: &BuiltDist, index: usize) -> TraceSet {
+        match self.try_generate_traces(built, index) {
+            Ok(set) => set,
+            Err(e) => panic!("generate_traces: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Scenario::generate_traces`], reporting a
+    /// degenerate cell as a typed [`Error`].
+    pub fn try_generate_traces(
+        &self,
+        built: &BuiltDist,
+        index: usize,
+    ) -> Result<TraceSet, Error> {
         let units = built.topology.units_for_procs(self.procs);
-        TraceSet::generate(
+        Ok(TraceSet::try_generate(
             built.dist.as_ref(),
             units,
             built.topology,
             self.horizon,
             self.start_time,
             SeedSequence::from_label(&self.label).child(index as u64),
-        )
+        )?)
     }
 }
 
@@ -237,6 +293,30 @@ mod tests {
         let a = DistSpec::Exponential { mtbf: 100.0 }.label();
         let b = DistSpec::Weibull { shape: 0.7, mtbf: 100.0 }.label();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn labels_are_filename_safe_and_sortable() {
+        let l = DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR }.label();
+        assert_eq!(l, "weibull000p7000-003944700000");
+        assert!(!l.contains('.') && !l.contains(' ') && !l.contains('/'));
+        // Equal floats → equal labels, regardless of source spelling.
+        assert_eq!(
+            DistSpec::Weibull { shape: 1.0, mtbf: 100.0 }.label(),
+            DistSpec::Weibull { shape: 1.0f32 as f64, mtbf: 100.0 }.label(),
+        );
+        // Fixed width: lexicographic order matches numeric order.
+        let mtbfs = [9.0 * DAY, 100.0 * DAY, 2.0 * YEAR];
+        let labels: Vec<String> =
+            mtbfs.iter().map(|&m| DistSpec::Exponential { mtbf: m }.label()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted, "labels must sort numerically");
+        // Distinct shapes never collide once zero-padded.
+        assert_ne!(
+            DistSpec::Weibull { shape: 1.0, mtbf: 100.0 }.label(),
+            DistSpec::Weibull { shape: 10.0, mtbf: 100.0 }.label(),
+        );
     }
 
     #[test]

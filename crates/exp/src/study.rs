@@ -1,0 +1,170 @@
+//! Batch experiment API: run many scenarios with one roster and one set
+//! of options.
+//!
+//! A [`Study`] is the declarative front door to the plan → execute →
+//! reduce pipeline: configure the roster and runner options once, then
+//! [`Study::run`] one cell or [`Study::run_all`] a batch. Scenario-level
+//! failures come back as values (`Result` per cell), so one malformed
+//! cell cannot abort a sweep; per-policy failures stay inside each
+//! [`ScenarioResult`] as error rows, exactly as in
+//! [`run_scenario`](crate::runner::run_scenario).
+//!
+//! ```no_run
+//! use ckpt_exp::{DistSpec, Scenario, Study};
+//!
+//! let year = 365.25 * 86_400.0;
+//! let cells: Vec<Scenario> = (8..=12)
+//!     .map(|e| {
+//!         Scenario::petascale(
+//!             DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * year },
+//!             1 << e,
+//!             100,
+//!         )
+//!     })
+//!     .collect();
+//! for result in Study::new().run_all(&cells).into_iter().flatten() {
+//!     println!("{}: {:?}", result.label, result.period_lb_factor);
+//! }
+//! ```
+
+use crate::error::Error;
+use crate::policies_spec::PolicyKind;
+use crate::runner::{run_scenario_checked, RunnerOptions, ScenarioResult};
+use crate::scenario::{DistSpec, Scenario};
+
+/// A configured batch of scenario runs. The default study mirrors
+/// `ckpt-core`'s `degradation_table`: the paper's §4.1 roster, with
+/// `DPMakespan` included only where its makespan table is exact
+/// (sequential jobs or Exponential failures).
+#[derive(Debug, Clone, Default)]
+pub struct Study {
+    kinds: Option<Vec<PolicyKind>>,
+    options: RunnerOptions,
+}
+
+impl Study {
+    /// A study with the default roster and default runner options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the per-scenario default roster with a fixed one.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: impl Into<Vec<PolicyKind>>) -> Self {
+        self.kinds = Some(kinds.into());
+        self
+    }
+
+    /// Replace the runner options (period grid, search strategy,
+    /// lower-bound row, engine options).
+    #[must_use]
+    pub fn with_options(mut self, options: RunnerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The roster this study runs on `scenario`: the configured one, or
+    /// the paper's §4.1 roster with `DPMakespan` only where exact.
+    pub fn roster_for(&self, scenario: &Scenario) -> Vec<PolicyKind> {
+        match &self.kinds {
+            Some(kinds) => kinds.clone(),
+            None => {
+                let include_dp_makespan = scenario.procs == 1
+                    || matches!(scenario.dist, DistSpec::Exponential { .. });
+                PolicyKind::paper_roster(include_dp_makespan)
+            }
+        }
+    }
+
+    /// Run one scenario.
+    ///
+    /// # Errors
+    /// Scenario-level failures only (a distribution that cannot be
+    /// built); per-policy failures surface as error rows in the result.
+    pub fn run(&self, scenario: &Scenario) -> Result<ScenarioResult, Error> {
+        run_scenario_checked(scenario, &self.roster_for(scenario), &self.options)
+    }
+
+    /// Run every scenario, one result per cell in input order. Failures
+    /// are per-cell values: a malformed cell yields its `Err` without
+    /// aborting the rest of the batch.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<Result<ScenarioResult, Error>> {
+        scenarios.iter().map(|sc| self.run(sc)).collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::runner::PeriodSearch;
+    use ckpt_sim::SimOptions;
+
+    fn fast_options() -> RunnerOptions {
+        RunnerOptions {
+            lower_bound: true,
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
+            sim: SimOptions::default(),
+        }
+    }
+
+    fn tiny(mtbf: f64) -> Scenario {
+        let mut s = Scenario::single_processor(DistSpec::Exponential { mtbf }, 4);
+        s.total_work = 12.0 * 3_600.0;
+        s
+    }
+
+    #[test]
+    fn run_all_returns_one_result_per_cell_in_order() {
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young, PolicyKind::OptExp])
+            .with_options(fast_options());
+        let cells = [tiny(6.0 * 3_600.0), tiny(12.0 * 3_600.0)];
+        let results = study.run_all(&cells);
+        assert_eq!(results.len(), 2);
+        for (r, sc) in results.iter().zip(&cells) {
+            let r = r.as_ref().expect("well-formed cells");
+            assert_eq!(r.label, sc.label);
+            assert!(r.get("Young").is_some());
+        }
+        // Longer MTBF ⇒ shorter makespan, so order is observable.
+        let a = results[0].as_ref().unwrap().get("Young").unwrap().mean_makespan.unwrap();
+        let b = results[1].as_ref().unwrap().get("Young").unwrap().mean_makespan.unwrap();
+        assert!(b < a);
+    }
+
+    #[test]
+    fn batch_matches_single_runs_bitwise() {
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young])
+            .with_options(fast_options());
+        let cells = [tiny(6.0 * 3_600.0)];
+        let batch = study.run_all(&cells);
+        let single = study.run(&cells[0]).expect("runs");
+        assert_eq!(
+            batch[0].as_ref().expect("runs").get("Young").unwrap().mean_makespan,
+            single.get("Young").unwrap().mean_makespan
+        );
+    }
+
+    #[test]
+    fn default_roster_mirrors_degradation_table_rule() {
+        let study = Study::new();
+        let seq = tiny(6.0 * 3_600.0);
+        assert!(study
+            .roster_for(&seq)
+            .iter()
+            .any(|k| matches!(k, PolicyKind::DpMakespan(_))));
+        let year = 365.25 * 86_400.0;
+        let peta = Scenario::petascale(
+            DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * year },
+            1 << 10,
+            2,
+        );
+        assert!(!study
+            .roster_for(&peta)
+            .iter()
+            .any(|k| matches!(k, PolicyKind::DpMakespan(_))));
+    }
+}

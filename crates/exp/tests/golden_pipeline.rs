@@ -1,0 +1,47 @@
+//! Golden-result pinning: the plan → execute → reduce pipeline must
+//! reproduce the committed `results/golden/*.json` files **byte for
+//! byte**, at any rayon thread count.
+//!
+//! The files were generated from the pre-refactor monolithic runner
+//! (via the `gen_golden` bin), so this test is the refactor's
+//! bit-identity contract: same seeds, same simulations, same reduction
+//! order, same shortest-roundtrip float serialisation. If a change is
+//! *supposed* to move the numbers, regenerate with
+//! `cargo run --release -p ckpt-exp --bin gen_golden` and commit the
+//! diff; anything else that trips this test is a regression.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ckpt_exp::golden::{golden_cells, golden_json};
+use ckpt_exp::runner::run_scenario;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/golden")
+}
+
+fn check_all_cells() {
+    for (stem, scenario, kinds, options) in golden_cells() {
+        let path = golden_dir().join(format!("{stem}.json"));
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let actual = golden_json(&run_scenario(&scenario, &kinds, &options));
+        assert_eq!(
+            actual, expected,
+            "pipeline output diverged from {} — bit-identity broken",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn pipeline_reproduces_golden_results_single_threaded() {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
+    pool.install(check_all_cells);
+}
+
+#[test]
+fn pipeline_reproduces_golden_results_eight_threads() {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().expect("pool");
+    pool.install(check_all_cells);
+}

@@ -30,7 +30,7 @@ impl AgeView {
             failed_ages.iter().all(|&(a, n)| a >= 0.0 && n >= 1),
             "ages must be non-negative with positive multiplicity"
         );
-        failed_ages.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        failed_ages.sort_by(|a, b| a.0.total_cmp(&b.0));
         Self { failed: failed_ages, pristine_procs, pristine_age }
     }
 

@@ -17,13 +17,17 @@
 //!   ones, which keeps parallel `DPNextFailure` state-building `O(f)` in
 //!   the number of failures rather than `O(p)`).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod ages;
+pub mod error;
 pub mod mtbf;
 pub mod renewal;
 pub mod topology;
 pub mod trace;
 
 pub use ages::AgeView;
+pub use error::PlatformError;
 pub use mtbf::{platform_mtbf_failed_only, platform_mtbf_rejuvenate_all};
 pub use renewal::{
     expected_failures, platform_failure_rate, poisson_quantile, spares_for_quantile,

@@ -13,6 +13,7 @@
 //! cannot happen during a downtime, which the simulator enforces by
 //! construction when it consumes these events.)
 
+use crate::error::PlatformError;
 use crate::topology::Topology;
 use ckpt_math::SeedSequence;
 use ckpt_dist::FailureDistribution;
@@ -79,6 +80,10 @@ impl TraceSet {
     /// Each unit's RNG seed derives from `seeds.child(unit_index)`, which
     /// delivers the §4.3 prefix property: generating for `b` units and
     /// truncating to `p ≤ b` equals generating for `p` units directly.
+    ///
+    /// # Panics
+    /// Panics on invalid inputs; the fallible form is
+    /// [`TraceSet::try_generate`].
     pub fn generate(
         dist: &dyn FailureDistribution,
         units: usize,
@@ -87,15 +92,35 @@ impl TraceSet {
         start_time: f64,
         seeds: SeedSequence,
     ) -> Self {
-        assert!(units >= 1, "need at least one unit");
-        assert!(
-            (0.0..horizon).contains(&start_time),
-            "start_time must fall within the horizon"
-        );
+        match Self::try_generate(dist, units, topology, horizon, start_time, seeds) {
+            Ok(set) => set,
+            Err(e) => panic!("TraceSet::generate: {e}"),
+        }
+    }
+
+    /// Generate traces for `units` failure units, reporting a typed
+    /// [`PlatformError`] instead of panicking on invalid inputs.
+    pub fn try_generate(
+        dist: &dyn FailureDistribution,
+        units: usize,
+        topology: Topology,
+        horizon: f64,
+        start_time: f64,
+        seeds: SeedSequence,
+    ) -> Result<Self, PlatformError> {
+        if units < 1 {
+            return Err(PlatformError::NoUnits);
+        }
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(PlatformError::BadHorizon { horizon });
+        }
+        if !(0.0..horizon).contains(&start_time) {
+            return Err(PlatformError::StartOutsideHorizon { start: start_time, horizon });
+        }
         let units = (0..units)
             .map(|i| FailureTrace::sample(dist, horizon, seeds.child(i as u64).seed()))
             .collect();
-        Self { units, topology, horizon, start_time }
+        Ok(Self { units, topology, horizon, start_time })
     }
 
     /// Number of failure units.
@@ -109,14 +134,29 @@ impl TraceSet {
     }
 
     /// Restrict to the first `units` traces (prefix-coherent subset).
+    ///
+    /// # Panics
+    /// Panics when `units` is zero or exceeds the generated unit count;
+    /// the fallible form is [`TraceSet::try_prefix`].
     pub fn prefix(&self, units: usize) -> Self {
-        assert!(units >= 1 && units <= self.units.len());
-        Self {
+        match self.try_prefix(units) {
+            Ok(set) => set,
+            Err(e) => panic!("TraceSet::prefix: {e}"),
+        }
+    }
+
+    /// Restrict to the first `units` traces, reporting a typed error when
+    /// the request exceeds the generated unit count.
+    pub fn try_prefix(&self, units: usize) -> Result<Self, PlatformError> {
+        if units < 1 || units > self.units.len() {
+            return Err(PlatformError::BadPrefix { want: units, have: self.units.len() });
+        }
+        Ok(Self {
             units: self.units[..units].to_vec(),
             topology: self.topology,
             horizon: self.horizon,
             start_time: self.start_time,
-        }
+        })
     }
 
     /// Merge into the platform-wide event stream used by the simulator.
@@ -127,7 +167,7 @@ impl TraceSet {
             .enumerate()
             .flat_map(|(u, tr)| tr.failures.iter().map(move |&t| (t, u as u32)))
             .collect();
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
         PlatformEvents {
             times: events.iter().map(|&(t, _)| t).collect(),
             units: events.iter().map(|&(_, u)| u).collect(),
@@ -199,6 +239,7 @@ impl PlatformEvents {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ckpt_dist::{Exponential, Weibull};
@@ -289,6 +330,29 @@ mod tests {
         // 16× more units → roughly 16× smaller platform MTBF.
         let ratio = m1 / m2;
         assert!((8.0..32.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn try_generate_reports_typed_errors() {
+        let d = Exponential::from_mtbf(10.0);
+        let t = Topology::per_processor();
+        assert_eq!(
+            TraceSet::try_generate(&d, 0, t, 100.0, 0.0, seeds()).err(),
+            Some(PlatformError::NoUnits)
+        );
+        assert_eq!(
+            TraceSet::try_generate(&d, 1, t, f64::NAN, 0.0, seeds()).err().map(|e| e.to_string()),
+            Some("horizon must be positive and finite, got NaN".into())
+        );
+        assert!(matches!(
+            TraceSet::try_generate(&d, 1, t, 10.0, 20.0, seeds()),
+            Err(PlatformError::StartOutsideHorizon { .. })
+        ));
+        let set = TraceSet::try_generate(&d, 2, t, 100.0, 0.0, seeds()).expect("valid");
+        assert_eq!(
+            set.try_prefix(3).err(),
+            Some(PlatformError::BadPrefix { want: 3, have: 2 })
+        );
     }
 
     #[test]

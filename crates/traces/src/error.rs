@@ -1,0 +1,83 @@
+//! Typed errors for availability-log loading and generation.
+
+use ckpt_dist::DistError;
+
+/// Why an availability log could not be parsed, generated, or turned into
+/// an empirical distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line of an FTA-style event table was malformed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The input held no events at all.
+    NoEvents,
+    /// Events were present but no availability interval could be derived
+    /// (e.g. every node logged a single event).
+    NoIntervals,
+    /// No synthetic model exists for the requested LANL cluster id.
+    UnknownCluster {
+        /// The requested cluster id (18 and 19 are modelled).
+        id: u32,
+    },
+    /// The log holds no availability durations to pool.
+    EmptyLog,
+    /// Building the pooled empirical distribution failed.
+    Dist(DistError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::NoEvents => write!(f, "no events found"),
+            Self::NoIntervals => write!(
+                f,
+                "no availability intervals derivable (single-event nodes only)"
+            ),
+            Self::UnknownCluster { id } => {
+                write!(f, "no synthetic model for LANL cluster {id}")
+            }
+            Self::EmptyLog => write!(f, "availability log is empty"),
+            Self::Dist(e) => write!(f, "empirical distribution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for TraceError {
+    fn from(e: DistError) -> Self {
+        Self::Dist(e)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_line_numbers() {
+        let e = TraceError::Parse { line: 2, reason: "expected `node start end`".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn dist_errors_convert_and_chain() {
+        let e: TraceError = DistError::EmptySample.into();
+        assert!(e.to_string().contains("empirical distribution"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

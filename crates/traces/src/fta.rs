@@ -20,6 +20,7 @@
 //! interval from the node's first observation). Lines starting with `#`
 //! and blank lines are ignored.
 
+use crate::error::TraceError;
 use crate::log::AvailabilityLog;
 use std::collections::BTreeMap;
 
@@ -28,39 +29,45 @@ use std::collections::BTreeMap;
 /// `procs_per_node` tags the node granularity (4 for the LANL clusters).
 ///
 /// # Errors
-/// Returns a line-numbered message on malformed input; an input with no
-/// derivable availability interval is also an error.
-pub fn parse_fta_events(input: &str, procs_per_node: u32) -> Result<AvailabilityLog, String> {
+/// Returns [`TraceError::Parse`] (whose `Display` carries the 1-based line
+/// number) on malformed input — short lines, unparsable or non-finite
+/// times, events that end before they start — and [`TraceError::NoEvents`]
+/// / [`TraceError::NoIntervals`] when no usable data survives.
+pub fn parse_fta_events(input: &str, procs_per_node: u32) -> Result<AvailabilityLog, TraceError> {
     let mut events: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for (lineno, raw) in input.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let parse_err = |reason: String| TraceError::Parse { line: lineno + 1, reason };
         let fields: Vec<&str> = line
             .split(|c: char| c == ',' || c.is_whitespace())
             .filter(|s| !s.is_empty())
             .collect();
         if fields.len() < 3 {
-            return Err(format!("line {}: expected `node start end`", lineno + 1));
+            return Err(parse_err("expected `node start end`".into()));
         }
         let start: f64 = fields[1]
             .parse()
-            .map_err(|e| format!("line {}: bad start time: {e}", lineno + 1))?;
+            .map_err(|e| parse_err(format!("bad start time: {e}")))?;
         let end: f64 = fields[2]
             .parse()
-            .map_err(|e| format!("line {}: bad end time: {e}", lineno + 1))?;
+            .map_err(|e| parse_err(format!("bad end time: {e}")))?;
+        if !start.is_finite() || !end.is_finite() {
+            return Err(parse_err(format!("non-finite event time {start}..{end}")));
+        }
         if end < start {
-            return Err(format!("line {}: event ends before it starts", lineno + 1));
+            return Err(parse_err("event ends before it starts".into()));
         }
         events.entry(fields[0].to_string()).or_default().push((start, end));
     }
     if events.is_empty() {
-        return Err("no events found".to_string());
+        return Err(TraceError::NoEvents);
     }
     let mut nodes = Vec::with_capacity(events.len());
     for (_, mut evs) in events {
-        evs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        evs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut durations = Vec::new();
         let mut up_since = evs.first().map(|&(s, _)| s).unwrap_or(0.0);
         // Leading interval unknown — start counting from the first repair.
@@ -79,12 +86,13 @@ pub fn parse_fta_events(input: &str, procs_per_node: u32) -> Result<Availability
     }
     let log = AvailabilityLog { nodes, procs_per_node, label: "fta".into() };
     if log.interval_count() == 0 {
-        return Err("no availability intervals derivable (single-event nodes only)".into());
+        return Err(TraceError::NoIntervals);
     }
     Ok(log)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -104,7 +112,7 @@ b 1010 1030
         // Node a: 450−150 = 300, 900−500 = 400; node b: 1010−10 = 1000.
         assert_eq!(log.interval_count(), 3);
         let mut all: Vec<f64> = log.nodes.iter().flatten().copied().collect();
-        all.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        all.sort_by(|x, y| x.total_cmp(y));
         assert_eq!(all, vec![300.0, 400.0, 1000.0]);
         assert_eq!(log.procs_per_node, 4);
     }
@@ -125,23 +133,43 @@ b 1010 1030
     #[test]
     fn malformed_line_is_located() {
         let err = parse_fta_events("x 1 2\noops\n", 1).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err:?}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn unparsable_time_is_typed_and_located() {
+        let err = parse_fta_events("x 1 2\nx abc 3\n", 1).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err:?}");
+        assert!(err.to_string().contains("bad start time"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_time_rejected() {
+        let err = parse_fta_events("x nan 5\n", 1).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{err:?}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let err = parse_fta_events("x 1 inf\n", 1).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]
     fn reversed_event_rejected() {
         let err = parse_fta_events("x 10 5\n", 1).unwrap_err();
-        assert!(err.contains("ends before"), "{err}");
+        assert!(err.to_string().contains("ends before"), "{err}");
     }
 
     #[test]
     fn empty_input_rejected() {
-        assert!(parse_fta_events("# nothing\n", 1).is_err());
+        assert_eq!(parse_fta_events("# nothing\n", 1).unwrap_err(), TraceError::NoEvents);
     }
 
     #[test]
     fn single_event_nodes_yield_no_intervals() {
-        assert!(parse_fta_events("x 1 2\ny 3 4\n", 1).is_err());
+        assert_eq!(
+            parse_fta_events("x 1 2\ny 3 4\n", 1).unwrap_err(),
+            TraceError::NoIntervals
+        );
     }
 
     #[test]

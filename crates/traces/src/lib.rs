@@ -15,10 +15,14 @@
 //! downstream code path — policy, simulator, harness — is therefore
 //! identical to a run on the real archive; see DESIGN.md "Substitutions".
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod error;
 pub mod fta;
 pub mod log;
 pub mod synthetic;
 
+pub use error::TraceError;
 pub use fta::parse_fta_events;
 pub use log::AvailabilityLog;
-pub use synthetic::{synthetic_lanl_cluster, LanlClusterModel};
+pub use synthetic::{synthetic_lanl_cluster, try_synthetic_lanl_cluster, LanlClusterModel};

@@ -1,5 +1,6 @@
 //! Availability logs and the §4.3 empirical distribution construction.
 
+use crate::error::TraceError;
 use ckpt_dist::Empirical;
 
 /// A cluster availability log: for each node, the sequence of availability
@@ -29,11 +30,25 @@ impl AvailabilityLog {
     /// and build the discrete conditional distribution from it.
     ///
     /// # Panics
-    /// Panics if the log holds no intervals.
+    /// Panics if the log holds no (valid) intervals; the fallible form is
+    /// [`AvailabilityLog::try_empirical_distribution`].
     pub fn empirical_distribution(&self) -> Empirical {
+        match self.try_empirical_distribution() {
+            Ok(d) => d,
+            Err(e) => panic!("empirical_distribution: {e}"),
+        }
+    }
+
+    /// Fallible form of
+    /// [`empirical_distribution`](AvailabilityLog::empirical_distribution):
+    /// reports an empty log or invalid durations as a typed error instead
+    /// of panicking.
+    pub fn try_empirical_distribution(&self) -> Result<Empirical, TraceError> {
         let durations: Vec<f64> = self.nodes.iter().flatten().copied().collect();
-        assert!(!durations.is_empty(), "availability log is empty");
-        Empirical::from_durations(durations)
+        if durations.is_empty() {
+            return Err(TraceError::EmptyLog);
+        }
+        Ok(Empirical::try_from_durations(durations)?)
     }
 
     /// Mean availability duration across the log (the node-level MTBF the
@@ -51,6 +66,7 @@ impl AvailabilityLog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ckpt_dist::FailureDistribution;
@@ -91,5 +107,21 @@ mod tests {
     fn empty_log_panics() {
         AvailabilityLog { nodes: vec![vec![]], procs_per_node: 4, label: "e".into() }
             .empirical_distribution();
+    }
+
+    #[test]
+    fn try_form_reports_typed_errors() {
+        let empty = AvailabilityLog { nodes: vec![vec![]], procs_per_node: 4, label: "e".into() };
+        assert_eq!(empty.try_empirical_distribution().err(), Some(TraceError::EmptyLog));
+        let bad = AvailabilityLog {
+            nodes: vec![vec![100.0, -5.0]],
+            procs_per_node: 4,
+            label: "b".into(),
+        };
+        assert!(matches!(
+            bad.try_empirical_distribution(),
+            Err(TraceError::Dist(ckpt_dist::DistError::InvalidDuration { index: 1, .. }))
+        ));
+        assert!(toy_log().try_empirical_distribution().is_ok());
     }
 }

@@ -18,6 +18,7 @@
 //! consumed through exactly the code path the paper uses for the real
 //! logs.
 
+use crate::error::TraceError;
 use crate::log::AvailabilityLog;
 use ckpt_math::SeedSequence;
 use ckpt_dist::{FailureDistribution, Mixture, Weibull};
@@ -118,17 +119,31 @@ impl LanlClusterModel {
 /// Generate the synthetic stand-in for LANL cluster `id` (18 or 19).
 ///
 /// # Panics
-/// Panics for any id other than 18 or 19.
+/// Panics for any id other than 18 or 19; the fallible form is
+/// [`try_synthetic_lanl_cluster`].
 pub fn synthetic_lanl_cluster(id: u32, seeds: SeedSequence) -> AvailabilityLog {
+    match try_synthetic_lanl_cluster(id, seeds) {
+        Ok(log) => log,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`synthetic_lanl_cluster`]: reports an unmodelled
+/// cluster id as [`TraceError::UnknownCluster`] instead of panicking.
+pub fn try_synthetic_lanl_cluster(
+    id: u32,
+    seeds: SeedSequence,
+) -> Result<AvailabilityLog, TraceError> {
     let model = match id {
         18 => LanlClusterModel::cluster18(),
         19 => LanlClusterModel::cluster19(),
-        other => panic!("no synthetic model for LANL cluster {other}"),
+        other => return Err(TraceError::UnknownCluster { id: other }),
     };
-    model.generate(seeds)
+    Ok(model.generate(seeds))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ckpt_dist::FailureDistribution;
@@ -204,5 +219,14 @@ mod tests {
     #[should_panic]
     fn unknown_cluster_rejected() {
         synthetic_lanl_cluster(7, SeedSequence::from_label("x"));
+    }
+
+    #[test]
+    fn unknown_cluster_typed_error() {
+        assert_eq!(
+            try_synthetic_lanl_cluster(7, SeedSequence::from_label("x")).err(),
+            Some(TraceError::UnknownCluster { id: 7 })
+        );
+        assert!(try_synthetic_lanl_cluster(19, SeedSequence::from_label("x")).is_ok());
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, in one command:
+#
+#   1. release build of the whole workspace;
+#   2. the full test suite (unit + integration, incl. the golden-result
+#      bit-identity pin at 1 and 8 rayon threads);
+#   3. clippy with warnings as errors — the lib crates carry
+#      `#![warn(clippy::unwrap_used, clippy::expect_used)]`, so any
+#      unwrap/expect on a library path fails this step.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== check.sh: all green =="
