@@ -54,6 +54,55 @@ fn dp_next_failure_plan(c: &mut Criterion) {
     });
 }
 
+fn dp_next_failure_plan_cache_hit(c: &mut Criterion) {
+    // Counterpart of `dp_next_failure_plan_120q`: same solve, but the
+    // age snapshot is fixed so every call after the first is served by
+    // the shared plan cache. The gap between the two benches is the
+    // per-decision saving the shared cache buys inside a trace wave.
+    let spec = JobSpec::table1_petascale(1 << 12);
+    let mtbf = 125.0 * YEAR;
+    let dp = DpNextFailure::new(
+        &spec,
+        Box::new(Weibull::from_mtbf(0.7, mtbf)),
+        mtbf,
+        DpNextFailureConfig { quanta: Some(120), ..Default::default() },
+    );
+    let ages = AgeView::all_pristine(spec.procs, 60.0);
+    let _ = dp.plan(spec.work, &ages); // warm the cache
+    c.bench_function("dp_next_failure_plan_120q_cache_hit", |b| {
+        b.iter(|| std::hint::black_box(dp.plan(spec.work, &ages).len()))
+    });
+}
+
+fn kernel_table_vs_direct(c: &mut Criterion) {
+    // The DP inner loops used to call `Weibull::log_survival` (a powf)
+    // per grid point; they now read a precomputed kernel table. Keep both
+    // costs visible so regressions in either path show up.
+    let d = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+    let horizon = 2.0e9;
+    let table = KernelTable::build(Box::new(d), horizon, 40_000.0);
+    let queries: Vec<f64> = (0..64).map(|i| 1.0e4 + i as f64 * 2.7e7).collect();
+    c.bench_function("kernel_table_log_survival_64pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &queries {
+                acc += table.log_survival(std::hint::black_box(t));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    let d = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+    c.bench_function("weibull_log_survival_direct_64pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &queries {
+                acc += d.log_survival(std::hint::black_box(t));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
 fn dp_makespan_build(c: &mut Criterion) {
     let spec = JobSpec::table1_single_processor();
     c.bench_function("dp_makespan_build_60q_weibull", |b| {
@@ -115,7 +164,8 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
     targets = lambert_w, optexp_construction, weibull_expected_loss,
-              registry_policy_build, dp_next_failure_plan, dp_makespan_build,
-              engine_throughput, trace_generation
+              registry_policy_build, dp_next_failure_plan,
+              dp_next_failure_plan_cache_hit, kernel_table_vs_direct,
+              dp_makespan_build, engine_throughput, trace_generation
 }
 criterion_main!(micro);

@@ -30,15 +30,15 @@ pub mod prelude {
     pub use crate::quick::{degradation_table, expected_makespan, optimal_period, Study};
     pub use ckpt_dist::{
         fit_exponential, fit_weibull_mle, Empirical, Exponential, FailureDistribution,
-        GammaDist, LogNormal, MinOf, Mixture, Weibull,
+        GammaDist, KernelTable, LogNormal, MinOf, Mixture, Weibull,
     };
     pub use ckpt_exp::{run_scenario, DistSpec, PolicyKind, RunnerOptions, Scenario};
     pub use ckpt_math::{SeedSequence, Summary};
     pub use ckpt_platform::{AgeView, RejuvenationModel, Topology, TraceSet};
     pub use ckpt_policies::{
-        daly_high, daly_low, young, Bouguerra, DpMakespan, DpMakespanConfig, DpNextFailure,
-        DpNextFailureConfig, FixedPeriod, Liu, OptExp, Policy, PolicySession,
-        StateCompression,
+        daly_high, daly_low, young, Bouguerra, DpCaches, DpMakespan, DpMakespanConfig,
+        DpNextFailure, DpNextFailureConfig, FixedPeriod, Liu, OptExp, Policy,
+        PolicySession, StateCompression,
     };
     pub use ckpt_sim::{
         lower_bound_makespan, simulate, simulate_rejuvenate_all,

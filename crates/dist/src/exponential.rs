@@ -80,6 +80,11 @@ impl FailureDistribution for Exponential {
     fn clone_box(&self) -> Box<dyn FailureDistribution> {
         Box::new(*self)
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // log_survival is a pure function of the rate bits.
+        Some(crate::combine_fingerprint(2, &[self.lambda.to_bits()]))
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ pub mod error;
 pub mod exponential;
 pub mod fitting;
 pub mod gamma_dist;
+pub mod kernel;
 pub mod lognormal;
 pub mod loss;
 pub mod min_of;
@@ -36,6 +37,7 @@ pub use error::DistError;
 pub use exponential::Exponential;
 pub use fitting::{fit_exponential, fit_weibull_mle};
 pub use gamma_dist::GammaDist;
+pub use kernel::KernelTable;
 pub use lognormal::LogNormal;
 pub use min_of::MinOf;
 pub use mixture::Mixture;
@@ -138,6 +140,27 @@ pub trait FailureDistribution: Send + Sync + std::fmt::Debug {
 
     /// Clone into a boxed trait object.
     fn clone_box(&self) -> Box<dyn FailureDistribution>;
+
+    /// A stable 64-bit identity of this distribution's *values*: two
+    /// instances with the same fingerprint are guaranteed to return
+    /// bit-identical `log_survival` everywhere, so cross-instance caches
+    /// (the shared DP plan cache) may pool their results. `None` (the
+    /// default) means "no such guarantee" — callers must fall back to
+    /// per-instance identity. Implemented for the closed-form families
+    /// whose log-survival is a pure function of their parameter bits.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Chain parameter bits into a family-tagged fingerprint (SplitMix64
+/// mixing — the same primitive as the deterministic seed hierarchy).
+pub fn combine_fingerprint(family_tag: u64, parts: &[u64]) -> u64 {
+    let mut h = ckpt_math::mix_seed(family_tag ^ 0xF1_6E_12);
+    for &p in parts {
+        h = ckpt_math::mix_seed(h ^ p);
+    }
+    h
 }
 
 impl Clone for Box<dyn FailureDistribution> {

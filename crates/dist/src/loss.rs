@@ -71,6 +71,38 @@ pub fn expected_loss<D: FailureDistribution + ?Sized>(dist: &D, x: f64, tau: f64
     e.clamp(0.0, x)
 }
 
+/// Tabulated evaluation of `E[Tlost(x|τ)]` from a precomputed cumulative
+/// survival integral `I(t) = ∫₀ᵗ S(s) ds`:
+///
+/// ```text
+/// E[Tlost(x|τ)] = (I(τ+x) − I(τ) − x·S(τ+x)) / (S(τ) − S(τ+x)),
+/// ```
+///
+/// with the survival endpoints evaluated exactly (the caller passes the
+/// distribution's own `survival`) so only the integral is interpolated.
+/// This is the O(1) replacement for the per-query quadrature of
+/// [`expected_loss`] inside the DP inner loops; it falls back to the
+/// half-window `x/2` when the conditioning probability vanishes, exactly
+/// like the quadrature form.
+pub fn expected_loss_from_integral(
+    integral: impl Fn(f64) -> f64,
+    survival: impl Fn(f64) -> f64,
+    x: f64,
+    tau: f64,
+) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let s_tau = survival(tau);
+    let s_end = survival(tau + x);
+    let denom = s_tau - s_end;
+    if denom <= 1e-12 * s_tau.max(1e-300) {
+        return 0.5 * x;
+    }
+    let num = integral(tau + x) - integral(tau) - x * s_end;
+    (num / denom).clamp(0.0, x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,14 @@ impl FailureDistribution for MinOf {
     fn clone_box(&self) -> Box<dyn FailureDistribution> {
         Box::new(self.clone())
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // Pure scaling of the inner log-survival: fingerprintable exactly
+        // when the inner distribution is.
+        self.inner
+            .fingerprint()
+            .map(|inner| crate::combine_fingerprint(3, &[inner, self.n.to_bits()]))
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,14 @@ impl FailureDistribution for Weibull {
     fn clone_box(&self) -> Box<dyn FailureDistribution> {
         Box::new(*self)
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // log_survival is a pure function of (shape, scale) bits.
+        Some(crate::combine_fingerprint(
+            1,
+            &[self.shape.to_bits(), self.scale.to_bits()],
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use std::time::Instant;
 const YEAR: f64 = 365.25 * 86_400.0;
 
 fn main() {
-    let traces = 2usize;
+    let traces: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(2);
     let scenario = Scenario::petascale(
         DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
         1 << 12,
@@ -45,6 +45,14 @@ fn main() {
         }
         println!("{name:<14} {:>8.3}s  {decisions} decisions", t0.elapsed().as_secs_f64());
     }
+
+    // Omniscient lower bound (runs in the same roster wave as the
+    // policies, so its cost lands in the policy_sims stage).
+    let t0 = Instant::now();
+    for ct in &cached {
+        std::hint::black_box(ckpt_sim::lower_bound_makespan(&spec, &ct.traces).makespan);
+    }
+    println!("{:<14} {:>8.3}s", "LowerBound", t0.elapsed().as_secs_f64());
 
     // Direct DP run with plan-cache statistics.
     let dp = ckpt_policies::DpNextFailure::new(

@@ -72,6 +72,30 @@ where
     tasks.par_iter().map(|&t| run(t)).collect()
 }
 
+/// Drain one wave with long-pole tasks scheduled first. `is_heavy` marks
+/// tasks whose runtime dominates the wave (DP policy sims); those are
+/// issued before the cheap bulk, with `with_max_len(1)` so rayon cannot
+/// glue a heavy sim to a run of cheap ones inside a single stolen chunk —
+/// a straggler that starts last serializes the whole wave's tail.
+///
+/// The schedule permutation is deterministic (stable partition on the task
+/// list) and outputs are scattered back to original task positions, so
+/// downstream reductions remain bit-identical at any thread count.
+fn drain_wave_heavy_first<T, F, H>(tasks: &[SimTask], is_heavy: H, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(SimTask) -> T + Sync,
+    H: Fn(&SimTask) -> bool,
+{
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    // Stable: heavy first, original order preserved within each class.
+    order.sort_by_key(|&i| !is_heavy(&tasks[i]));
+    let mut outputs: Vec<(usize, T)> =
+        order.par_iter().with_max_len(1).map(|&i| (i, run(tasks[i]))).collect();
+    outputs.sort_by_key(|&(i, _)| i);
+    outputs.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Per-task output of the roster wave.
 enum RosterOutput {
     Policy { cell: Option<PolicyCell>, decisions: u64, failures: u64 },
@@ -125,10 +149,26 @@ pub fn execute(
         .map(|k| crate::registry::build_policy(k, scenario, built))
         .collect();
 
-    // Stage 2: the roster wave (policy sims plus lower bounds).
+    // Stage 2: the roster wave (policy sims plus lower bounds). DP sims
+    // are the wave's long poles — schedule them first so they overlap the
+    // cheap periodic sims instead of trailing them. The shared plan/
+    // kernel-row caches are snapshotted around the wave so the perf
+    // report attributes exactly this run's hits/misses/evictions.
     let t_stage = Instant::now();
+    let caches_before = ckpt_policies::DpCaches::global().stats();
+    let heavy_kind = |k: &crate::policies_spec::PolicyKind| {
+        matches!(
+            k,
+            crate::policies_spec::PolicyKind::DpNextFailure(_)
+                | crate::policies_spec::PolicyKind::DpMakespan(_)
+        )
+    };
     let tasks = sim_plan.roster_wave();
-    let outputs = drain_wave(&tasks, |task| match task {
+    let is_heavy = |task: &SimTask| match task {
+        SimTask::Policy { policy, .. } => heavy_kind(&sim_plan.kinds[*policy]),
+        _ => false,
+    };
+    let outputs = drain_wave_heavy_first(&tasks, is_heavy, |task| match task {
         SimTask::Policy { policy, trace } => match &policies[policy] {
             Ok(p) => {
                 let st = simulate_on(&spec, p.as_ref(), &cached[trace], sim_plan.sim);
@@ -175,6 +215,8 @@ pub fn execute(
     }
     let ran_policies = policies.iter().filter(|b| b.is_ok()).count() as u64;
     perf.policy_sims = ran_policies * sim_plan.traces as u64;
+    perf.plan_cache =
+        ckpt_policies::DpCaches::global().stats().delta_since(&caches_before).into();
     perf.push_stage("policy_sims", t_stage, perf.policy_sims);
 
     // Stage 3: PeriodLB candidate waves (coarse, then refine).

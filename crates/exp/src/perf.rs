@@ -21,6 +21,40 @@ pub struct StagePerf {
     pub items: u64,
 }
 
+/// Flow counters of one shared DP cache layer attributed to a run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CachePerf {
+    /// Lookups served from the cache during the run.
+    pub hits: u64,
+    /// Lookups that had to compute during the run.
+    pub misses: u64,
+    /// Entries dropped by bounded eviction during the run.
+    pub evictions: u64,
+    /// Entries resident when the run finished (a level, not a flow).
+    pub entries: u64,
+}
+
+impl From<ckpt_policies::CacheStats> for CachePerf {
+    fn from(s: ckpt_policies::CacheStats) -> Self {
+        Self { hits: s.hits, misses: s.misses, evictions: s.evictions, entries: s.entries }
+    }
+}
+
+/// Shared DP plan/kernel-row cache activity attributed to one run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PlanCachePerf {
+    /// Whole-plan layer (`PlanKey` → chunk schedule).
+    pub plans: CachePerf,
+    /// Per-age log-survival row layer (`KernelRowKey` → triangle row).
+    pub kernel_rows: CachePerf,
+}
+
+impl From<ckpt_policies::DpCacheStats> for PlanCachePerf {
+    fn from(s: ckpt_policies::DpCacheStats) -> Self {
+        Self { plans: s.plans.into(), kernel_rows: s.kernel_rows.into() }
+    }
+}
+
 /// Instrumentation for one `run_scenario` call.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct PipelinePerf {
@@ -39,6 +73,9 @@ pub struct PipelinePerf {
     pub decisions: u64,
     /// Failures struck across all simulations.
     pub failures: u64,
+    /// Shared DP cache counters accumulated over the `policy_sims` stage
+    /// (the executor snapshots the global caches around the wave).
+    pub plan_cache: PlanCachePerf,
 }
 
 impl PipelinePerf {
@@ -83,9 +120,27 @@ impl PipelinePerf {
         push_kv(&mut s, "decisions", &self.decisions.to_string());
         s.push_str(", ");
         push_kv(&mut s, "failures", &self.failures.to_string());
-        s.push('}');
+        s.push_str(", \"plan_cache\": {");
+        push_cache(&mut s, "plans", &self.plan_cache.plans);
+        s.push_str(", ");
+        push_cache(&mut s, "kernel_rows", &self.plan_cache.kernel_rows);
+        s.push_str("}}");
         s
     }
+}
+
+fn push_cache(buf: &mut String, key: &str, c: &CachePerf) {
+    buf.push('"');
+    buf.push_str(key);
+    buf.push_str("\": {");
+    push_kv(buf, "hits", &c.hits.to_string());
+    buf.push_str(", ");
+    push_kv(buf, "misses", &c.misses.to_string());
+    buf.push_str(", ");
+    push_kv(buf, "evictions", &c.evictions.to_string());
+    buf.push_str(", ");
+    push_kv(buf, "entries", &c.entries.to_string());
+    buf.push('}');
 }
 
 fn push_kv(buf: &mut String, key: &str, value: &str) {
@@ -120,11 +175,14 @@ mod tests {
         p.push_stage("trace_gen", t, 6);
         p.total_seconds = 1.5;
         p.policy_sims = 42;
+        p.plan_cache.plans.hits = 7;
         let j = p.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"total_seconds\": 1.5"));
         assert!(j.contains("\"name\": \"trace_gen\""));
         assert!(j.contains("\"policy_sims\": 42"));
+        assert!(j.contains("\"plan_cache\": {\"plans\": {\"hits\": 7"));
+        assert!(j.contains("\"kernel_rows\": {\"hits\": 0"));
         // Balanced braces/brackets (cheap structural check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -18,6 +18,9 @@
 //! * [`seeds`] — SplitMix64-based deterministic seed derivation so that
 //!   every `(experiment, trace)` pair is reproducible regardless of thread
 //!   scheduling.
+//! * [`table`] — uniform-grid function tables (sampling, trapezoid
+//!   cumulative integrals, checked/clamped linear interpolation), the
+//!   substrate of the tabulated distribution kernels.
 
 pub mod gamma;
 pub mod integrate;
@@ -25,6 +28,7 @@ pub mod lambert;
 pub mod roots;
 pub mod seeds;
 pub mod stats;
+pub mod table;
 
 pub use gamma::{gamma, ln_gamma};
 pub use integrate::adaptive_simpson;
@@ -32,3 +36,4 @@ pub use lambert::{lambert_w0, lambert_wm1};
 pub use roots::{bisect, brent};
 pub use seeds::{mix_seed, SeedSequence};
 pub use stats::{KahanSum, Summary};
+pub use table::UniformTable;

@@ -71,6 +71,13 @@ impl AgeView {
         (self.pristine_procs, self.pristine_age)
     }
 
+    /// Recover the failed-ages vector, surrendering the view. Lets a
+    /// simulation loop recycle one buffer across decision points instead
+    /// of allocating a fresh snapshot per decision.
+    pub fn into_failed(self) -> Vec<(f64, u32)> {
+        self.failed
+    }
+
     /// Smallest age across the platform.
     pub fn min_age(&self) -> f64 {
         match self.failed.first() {

@@ -27,7 +27,7 @@
 //! `pλ` Exponential as `dist`.
 
 use crate::{clamp_chunk, AgeView, Policy, PolicySession};
-use ckpt_dist::FailureDistribution;
+use ckpt_dist::{FailureDistribution, KernelTable};
 use ckpt_workload::JobSpec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -69,7 +69,10 @@ pub struct DpMakespan {
     config: DpMakespanConfig,
     u: f64,
     e_rec: f64,
-    loss: LossTable,
+    /// Tabulated log-survival / survival-integral kernels (`ckpt-dist`):
+    /// `Psuc` and `E[Tlost]` in the DP's inner loops are table lookups
+    /// with exact off-grid fallback instead of per-point `powf` calls.
+    kernel: KernelTable,
     /// Post-failure backbone `V(x, R)` and its chunk choice, indexed by x.
     backbone: Vec<(f64, u32)>,
     /// Memoryless fast path: with the age dimension collapsed, `V` depends
@@ -122,15 +125,19 @@ impl DpMakespan {
         let resolution = u
             .min(spec.recovery.max(1.0))
             .min(spec.checkpoint.max(1.0));
-        let loss = LossTable::build(dist.as_ref(), horizon.max(spec.recovery * 4.0), resolution);
+        let kernel = KernelTable::build(
+            dist.clone_box(),
+            horizon.max(spec.recovery * 4.0),
+            resolution,
+        );
         // E[Trec] via Proposition 1. For memoryless distributions the
         // trait's closed-form expected loss (Lemma 1) is exact; otherwise
-        // the table's interpolation is accurate at `resolution` scale.
+        // the kernel's interpolation is accurate at `resolution` scale.
         let psuc_r = dist.psuc(spec.recovery, 0.0);
         let lost_r = if config.assume_memoryless {
             dist.expected_loss(spec.recovery, 0.0)
         } else {
-            loss.loss(dist.as_ref(), spec.recovery, 0.0)
+            kernel.expected_loss(spec.recovery, 0.0)
         };
         let e_rec = if psuc_r <= 0.0 {
             // Recovery can never succeed — pathological spec; make the
@@ -145,7 +152,7 @@ impl DpMakespan {
             config,
             u,
             e_rec,
-            loss,
+            kernel,
             backbone: Vec::new(),
             flat: Vec::new(),
             memo: Mutex::new(HashMap::new()),
@@ -179,6 +186,19 @@ impl DpMakespan {
         let r = self.spec.recovery;
         let c = self.spec.checkpoint;
         let memoryless = self.config.assume_memoryless;
+        // `Psuc` and `E[Tlost]` of an attempt depend on its length and the
+        // fixed post-recovery age alone, never on `x` — hoist them into
+        // O(n) ladders instead of querying the distribution O(n²) times
+        // inside the Bellman loops. (Memoryless mode forces τ = 0
+        // everywhere, so the same ladders serve the flat-table pass too —
+        // the values the old inner loops recomputed were identical.)
+        let mut psuc_r = vec![0.0f64; n + 1];
+        let mut lost_r = vec![0.0f64; n + 1];
+        for i in 1..=n {
+            let attempt = i as f64 * self.u + c;
+            psuc_r[i] = self.psuc(attempt, r);
+            lost_r[i] = self.tlost(attempt, r);
+        }
         self.backbone.push((0.0, 0));
         if memoryless {
             self.flat.push((0.0, 0));
@@ -188,7 +208,7 @@ impl DpMakespan {
             let mut best_i = 1u32;
             for i in 1..=x {
                 let attempt = i as f64 * self.u + c;
-                let psuc = self.psuc(attempt, r);
+                let psuc = psuc_r[i];
                 if psuc <= 0.0 {
                     continue;
                 }
@@ -199,7 +219,7 @@ impl DpMakespan {
                 } else {
                     self.value_bounded(x - i, r + attempt, x)
                 };
-                let lost = self.tlost(attempt, r);
+                let lost = lost_r[i];
                 let a_i = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec);
                 let cand = a_i / psuc; // fixed point of V = a + (1−psuc)·V
                 if cand < best {
@@ -217,9 +237,9 @@ impl DpMakespan {
                 let mut bi = 1u32;
                 for i in 1..=x {
                     let attempt = i as f64 * self.u + c;
-                    let psuc = self.psuc(attempt, 0.0);
+                    let psuc = psuc_r[i];
                     let succ = if x - i == 0 { 0.0 } else { self.flat[x - i].0 };
-                    let lost = self.tlost(attempt, 0.0);
+                    let lost = lost_r[i];
                     let cur = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec + fail_v);
                     if cur < bv {
                         bv = cur;
@@ -231,19 +251,23 @@ impl DpMakespan {
         }
     }
 
-    /// `Psuc(x|τ)` through the distribution.
+    /// `Psuc(x|τ)`: exact (typically closed-form) for memoryless
+    /// distributions, tabulated log-survival otherwise.
     fn psuc(&self, x: f64, tau: f64) -> f64 {
-        let tau = if self.config.assume_memoryless { 0.0 } else { tau };
-        self.dist.psuc(x, tau)
+        if self.config.assume_memoryless {
+            self.dist.psuc(x, 0.0)
+        } else {
+            self.kernel.psuc(x, tau)
+        }
     }
 
-    /// `E[Tlost(x|τ)]`: closed form for memoryless distributions, table
+    /// `E[Tlost(x|τ)]`: closed form for memoryless distributions, kernel
     /// interpolation otherwise.
     fn tlost(&self, x: f64, tau: f64) -> f64 {
         if self.config.assume_memoryless {
             self.dist.expected_loss(x, 0.0)
         } else {
-            self.loss.loss(self.dist.as_ref(), x, tau)
+            self.kernel.expected_loss(x, tau)
         }
     }
 
@@ -290,15 +314,20 @@ impl DpMakespan {
         if let Some(&v) = self.memo.lock().get(&key) {
             return v;
         }
+        // Evaluate at the key's *representative* age, not the incoming
+        // exact one: the memoised value is then a pure function of the key,
+        // so concurrent sessions agree on it no matter which thread fills
+        // the memo first.
+        let tau_rep = key.1 as f64 * self.u;
         let c = self.spec.checkpoint;
         let fail_v = self.backbone[x].0;
         let mut best = f64::INFINITY;
         let mut best_i = 1u32;
         for i in 1..=x {
             let attempt = i as f64 * self.u + c;
-            let psuc = self.psuc(attempt, tau);
-            let succ = if x - i == 0 { 0.0 } else { self.value(x - i, tau + attempt) };
-            let lost = self.tlost(attempt, tau);
+            let psuc = self.psuc(attempt, tau_rep);
+            let succ = if x - i == 0 { 0.0 } else { self.value(x - i, tau_rep + attempt) };
+            let lost = self.tlost(attempt, tau_rep);
             let cur = psuc * (attempt + succ) + (1.0 - psuc) * (lost + self.e_rec + fail_v);
             if cur < best {
                 best = cur;
@@ -338,70 +367,6 @@ impl PolicySession for DpMsSession<'_> {
         // is the true age.
         let tau = ages.min_age();
         clamp_chunk(self.policy.chunk_for(remaining, tau), remaining)
-    }
-}
-
-/// Precomputed cumulative survival integral `I(t) = ∫₀ᵗ S(s) ds` on a
-/// uniform grid, giving `E[Tlost(x|τ)]` in O(1):
-///
-/// ```text
-/// E[Tlost(x|τ)] = (I(τ+x) − I(τ) − x·S(τ+x)) / (S(τ) − S(τ+x)).
-/// ```
-///
-/// Adequate conditioning for the regimes DPMakespan runs in (chunk lengths
-/// comparable to the MTBF); falls back to half-window for vanishing failure
-/// probability.
-struct LossTable {
-    step: f64,
-    /// `I(k·step)` values.
-    cumulative: Vec<f64>,
-}
-
-impl LossTable {
-    fn build(dist: &dyn FailureDistribution, horizon: f64, quantum: f64) -> Self {
-        // Sub-quantum resolution, but bounded table size.
-        let step = (quantum / 8.0).max(horizon / 200_000.0);
-        let n = (horizon / step).ceil() as usize + 2;
-        let mut cumulative = Vec::with_capacity(n);
-        cumulative.push(0.0);
-        let mut acc = 0.0;
-        let mut prev_s = dist.survival(0.0);
-        for k in 1..n {
-            let t = k as f64 * step;
-            let s = dist.survival(t);
-            // Trapezoid.
-            acc += 0.5 * (prev_s + s) * step;
-            cumulative.push(acc);
-            prev_s = s;
-        }
-        Self { step, cumulative }
-    }
-
-    fn integral(&self, t: f64) -> f64 {
-        if t <= 0.0 {
-            return 0.0;
-        }
-        let pos = t / self.step;
-        let k = pos.floor() as usize;
-        if k + 1 >= self.cumulative.len() {
-            return *self.cumulative.last().expect("non-empty");
-        }
-        let frac = pos - k as f64;
-        self.cumulative[k] * (1.0 - frac) + self.cumulative[k + 1] * frac
-    }
-
-    fn loss(&self, dist: &dyn FailureDistribution, x: f64, tau: f64) -> f64 {
-        if x <= 0.0 {
-            return 0.0;
-        }
-        let s_tau = dist.survival(tau);
-        let s_end = dist.survival(tau + x);
-        let denom = s_tau - s_end;
-        if denom <= 1e-12 * s_tau.max(1e-300) {
-            return 0.5 * x;
-        }
-        let num = self.integral(tau + x) - self.integral(tau) - x * s_end;
-        (num / denom).clamp(0.0, x)
     }
 }
 
@@ -548,11 +513,12 @@ mod tests {
     }
 
     #[test]
-    fn loss_table_matches_exponential_closed_form() {
+    fn kernel_loss_matches_exponential_closed_form() {
+        // The DP's tlost path (kernel expected_loss) against Lemma 1.
         let d = Exponential::from_mtbf(1000.0);
-        let table = LossTable::build(&d, 20_000.0, 50.0);
+        let table = KernelTable::build(Box::new(d), 20_000.0, 400.0);
         for &(x, tau) in &[(100.0, 0.0), (500.0, 200.0), (2_000.0, 0.0)] {
-            let got = table.loss(&d, x, tau);
+            let got = table.expected_loss(x, tau);
             let expect = d.expected_loss(x, tau);
             assert!(
                 (got - expect).abs() < 0.02 * expect.max(1.0),

@@ -33,10 +33,11 @@
 //!   cheap and serves as the precision baseline of the paper's ≤0.2 %
 //!   error study (reproduced in the `ablation_state_compression` bench).
 
+use crate::plan_cache::{DistId, DpCaches, KernelRowKey, PlanKey};
 use crate::{clamp_chunk, AgeView, Policy, PolicySession};
 use ckpt_dist::FailureDistribution;
 use ckpt_workload::JobSpec;
-use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// How the processor-age multiset is summarised before planning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,15 +125,20 @@ pub fn auto_quanta(checkpoint: f64, platform_mtbf: f64) -> usize {
 /// The `DPNextFailure` policy.
 pub struct DpNextFailure {
     dist: Box<dyn FailureDistribution>,
+    dist_id: DistId,
     spec: JobSpec,
     platform_mtbf: f64,
     config: DpNextFailureConfig,
     x_max: usize,
-    /// Plan cache keyed by `(work quanta, quantised age fingerprint)`,
-    /// shared across sessions and traces. Post-failure states recur with
-    /// identical fingerprints (the age is `D + R` plus small cascades), so
-    /// the hit rate is high even for age-dependent distributions.
-    cache: parking_lot::Mutex<HashMap<PlanKey, std::sync::Arc<Vec<f64>>>>,
+    /// Shared plan/kernel-row memo layers (see [`crate::plan_cache`]).
+    /// Plans are keyed by the full quantised planning state — distribution
+    /// identity, exact quantum bits, truncation, age buckets — so every
+    /// instance with the same state reuses the same solve; post-failure
+    /// states recur with identical keys (the age is `D + R` plus small
+    /// cascades), so the hit rate is high even for age-dependent
+    /// distributions, and a Study batch shares solves across all its
+    /// traces and cells.
+    caches: DpCaches,
     plans_total: std::sync::atomic::AtomicU64,
     plans_cold: std::sync::atomic::AtomicU64,
 }
@@ -147,17 +153,28 @@ impl std::fmt::Debug for DpNextFailure {
     }
 }
 
-type PlanKey = (u64, Vec<(u64, u64)>);
-
 impl DpNextFailure {
     /// Build for a job spec, the per-processor failure distribution, and
     /// the per-processor MTBF (used for work truncation; the paper's
-    /// `min(ω, 2·MTBF/p)`).
+    /// `min(ω, 2·MTBF/p)`). Plans and kernel rows are memoised in the
+    /// process-wide [`DpCaches::global`] pair.
     pub fn new(
         spec: &JobSpec,
         dist: Box<dyn FailureDistribution>,
         proc_mtbf: f64,
         config: DpNextFailureConfig,
+    ) -> Self {
+        Self::with_caches(spec, dist, proc_mtbf, config, DpCaches::global().clone())
+    }
+
+    /// [`new`](Self::new) with an explicit cache pair — isolation for
+    /// tests and cache-sensitivity studies.
+    pub fn with_caches(
+        spec: &JobSpec,
+        dist: Box<dyn FailureDistribution>,
+        proc_mtbf: f64,
+        config: DpNextFailureConfig,
+        caches: DpCaches,
     ) -> Self {
         assert!(proc_mtbf > 0.0);
         assert!(config.truncation_mtbf_multiple > 0.0);
@@ -169,13 +186,15 @@ impl DpNextFailure {
             }
             None => auto_quanta(spec.checkpoint, platform_mtbf),
         };
+        let dist_id = DistId::of(dist.as_ref());
         Self {
             dist,
+            dist_id,
             spec: *spec,
             platform_mtbf,
             config,
             x_max,
-            cache: parking_lot::Mutex::new(HashMap::new()),
+            caches,
             plans_total: std::sync::atomic::AtomicU64::new(0),
             plans_cold: std::sync::atomic::AtomicU64::new(0),
         }
@@ -198,10 +217,13 @@ impl DpNextFailure {
     ///
     /// The plan is computed from the *quantised* state (ages mapped onto a
     /// geometric bucket grid, [`quantise_age`]) and memoised under that
-    /// key, so any execution order reproduces the identical plan for the
-    /// same key — replans after a failure or at schedule exhaustion mostly
-    /// hit the cache instead of re-running the `O(x_max²)` solve.
-    pub fn plan(&self, remaining: f64, ages: &AgeView) -> Vec<f64> {
+    /// key in the shared [`DpCaches`] plan layer, so any execution order —
+    /// and any other policy instance with the same distribution identity —
+    /// reproduces the identical plan for the same key; replans after a
+    /// failure or at schedule exhaustion mostly hit the cache instead of
+    /// re-running the `O(x_max²)` solve. The returned `Arc` slice is
+    /// shared with the cache: consuming a plan allocates nothing.
+    pub fn plan(&self, remaining: f64, ages: &AgeView) -> Arc<[f64]> {
         let window = planning_window(
             self.spec.checkpoint,
             self.platform_mtbf,
@@ -213,9 +235,10 @@ impl DpNextFailure {
         let u = w_full / x_max as f64;
         let compressed = compress_ages(ages, self.dist.as_ref(), self.config.compression);
         // Quantised state: bucket ids on the geometric age grid, counts
-        // merged per bucket. The work key scales with the truncated work
-        // (`x_max` when the full window applies, proportionally smaller in
-        // the endgame) so unequal-work states can never collide.
+        // merged per bucket. The exact quantum bits key the truncated work
+        // (`window/x_max` when the full window applies, proportionally
+        // smaller in the endgame) so unequal-work states can never
+        // collide.
         let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(compressed.len());
         for &(age, count) in &compressed {
             let id = quantise_age(age, u);
@@ -228,39 +251,70 @@ impl DpNextFailure {
                 _ => buckets.push((id, count)),
             }
         }
-        let key: PlanKey = ((w_full * x_max as f64 / window).round() as u64, buckets);
+        let key = PlanKey {
+            dist: self.dist_id,
+            u_bits: u.to_bits(),
+            checkpoint_bits: self.spec.checkpoint.to_bits(),
+            x_max: x_max as u32,
+            truncated,
+            half_schedule: self.config.use_half_schedule,
+            buckets,
+        };
         self.plans_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return hit.as_ref().clone();
+        if let Some(hit) = self.caches.plans.get(&key) {
+            return hit;
         }
         self.plans_cold.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Solve on the representative state reconstructed from the key —
         // a pure function of the key, so concurrent sessions agree on the
-        // cached plan no matter which one computes it first.
+        // cached plan no matter which one computes it first. The kernel
+        // rows (exact per-bucket log-survival over the DP triangle) come
+        // from the shared row layer: a bucket seen by any earlier solve on
+        // the same grid costs one memoised lookup instead of a triangle of
+        // `powf` calls.
         let representative: Vec<(f64, f64)> = key
-            .1
+            .buckets
             .iter()
             .map(|&(id, count)| (representative_age(id, u), count as f64))
             .collect();
-        let chunks = solve(
+        let checkpoint = self.spec.checkpoint;
+        let row_for = |age_index: usize| -> Arc<[f64]> {
+            let (bucket, _) = key.buckets[age_index];
+            let row_key = KernelRowKey {
+                dist: self.dist_id,
+                u_bits: key.u_bits,
+                checkpoint_bits: key.checkpoint_bits,
+                x_max: key.x_max,
+                bucket,
+            };
+            self.caches.kernel_rows.get_or_insert_with(row_key, || {
+                compute_row(
+                    self.dist.as_ref(),
+                    representative_age(bucket, u),
+                    x_max,
+                    u,
+                    checkpoint,
+                )
+            })
+        };
+        let chunks = solve_with_rows(
             self.dist.as_ref(),
             &representative,
             x_max,
             u,
-            self.spec.checkpoint,
+            checkpoint,
+            Some(&row_for),
         );
         // §3.3: when the work was truncated, keep only the first half of
         // the chunks to avoid end-of-horizon artefacts.
-        let chunks = if self.config.use_half_schedule && truncated && chunks.len() > 1 {
+        let chunks: Arc<[f64]> = if self.config.use_half_schedule && truncated && chunks.len() > 1
+        {
             let keep = chunks.len().div_ceil(2);
-            chunks[..keep].to_vec()
+            chunks[..keep].into()
         } else {
-            chunks
+            chunks.into()
         };
-        let mut cache = self.cache.lock();
-        if cache.len() < 100_000 {
-            cache.insert(key, std::sync::Arc::new(chunks.clone()));
-        }
+        self.caches.plans.insert(key, chunks.clone());
         chunks
     }
 }
@@ -287,26 +341,39 @@ impl Policy for DpNextFailure {
     }
 
     fn session(&self) -> Box<dyn PolicySession + '_> {
-        Box::new(DpNfSession { policy: self, schedule: VecDeque::new() })
+        Box::new(DpNfSession { policy: self, plan: Vec::new().into(), pos: 0 })
     }
 }
 
+/// Walks a cached plan by index — the session shares the `Arc` slice with
+/// the plan cache, so consuming a schedule performs no per-decision
+/// allocation (the old `VecDeque` clone-and-drain did one clone per plan).
 struct DpNfSession<'a> {
     policy: &'a DpNextFailure,
-    schedule: VecDeque<f64>,
+    plan: Arc<[f64]>,
+    pos: usize,
 }
 
 impl PolicySession for DpNfSession<'_> {
     fn next_chunk(&mut self, remaining: f64, ages: &AgeView, _now: f64) -> f64 {
-        if self.schedule.is_empty() {
-            self.schedule = self.policy.plan(remaining, ages).into();
+        if self.pos >= self.plan.len() {
+            self.plan = self.policy.plan(remaining, ages);
+            self.pos = 0;
         }
-        let chunk = self.schedule.pop_front().unwrap_or(remaining);
+        let chunk = match self.plan.get(self.pos) {
+            Some(&c) => {
+                self.pos += 1;
+                c
+            }
+            None => remaining,
+        };
         clamp_chunk(chunk, remaining)
     }
 
     fn on_failure(&mut self) {
-        self.schedule.clear();
+        // Invalidate the walked plan; the next decision replans (and
+        // usually re-hits the cache for the recurring post-failure state).
+        self.pos = self.plan.len();
     }
 }
 
@@ -440,12 +507,13 @@ struct FarFit {
 impl FarFit {
     /// Fit the combined far-age log-survival. Returns `None` when no age
     /// qualifies (all near, or a node value is non-finite). `near`
-    /// receives the entries that must stay exact.
+    /// receives the entries that must stay exact, tagged with their index
+    /// into `ages` so the caller can fetch each one's cached kernel row.
     fn build(
         dist: &dyn FailureDistribution,
         ages: &[(f64, f64)],
         t_span: f64,
-        near: &mut Vec<(f64, f64)>,
+        near: &mut Vec<(usize, f64, f64)>,
     ) -> Option<FarFit> {
         let n = CHEB_POINTS;
         // Chebyshev-Gauss nodes mapped onto [0, t_span].
@@ -456,9 +524,9 @@ impl FarFit {
         }
         let mut sums = [0.0f64; CHEB_POINTS];
         let mut have_far = false;
-        for &(tau, c) in ages {
+        for (idx, &(tau, c)) in ages.iter().enumerate() {
             if tau < FAR_AGE_SPANS * t_span {
-                near.push((tau, c));
+                near.push((idx, tau, c));
                 continue;
             }
             let mut vals = [0.0f64; CHEB_POINTS];
@@ -468,7 +536,7 @@ impl FarFit {
                 finite &= v.is_finite();
             }
             if !finite {
-                near.push((tau, c));
+                near.push((idx, tau, c));
                 continue;
             }
             for (s, v) in sums.iter_mut().zip(&vals) {
@@ -508,14 +576,60 @@ impl FarFit {
     }
 }
 
+/// Length of the packed `(a, m)` triangle for a given `x_max`: row `a`
+/// holds `m = 0..=a+1`, i.e. `a + 2` entries, rows concatenated in
+/// ascending `a`.
+fn triangle_len(x_max: usize) -> usize {
+    (x_max + 1) * (x_max + 4) / 2
+}
+
+/// One age bucket's exact log-survival over the DP triangle, in packed
+/// triangle order: `row[·] = ln S(τ + a·u + m·C)` for `a = 0..=x_max`,
+/// `m = 0..=a+1`. The arithmetic (`t = a·u + m·C` first, then `τ + t`)
+/// matches the grid fill exactly, so accumulating cached rows is
+/// bit-identical to evaluating in place.
+fn compute_row(
+    dist: &dyn FailureDistribution,
+    tau: f64,
+    x_max: usize,
+    u: f64,
+    checkpoint: f64,
+) -> Arc<[f64]> {
+    let mut row = Vec::with_capacity(triangle_len(x_max));
+    for a in 0..=x_max {
+        let au = a as f64 * u;
+        for m in 0..=a + 1 {
+            let t = au + m as f64 * checkpoint;
+            row.push(dist.log_survival(tau + t));
+        }
+    }
+    row.into()
+}
+
 /// Bottom-up DP solve. Returns the chunk sizes (work seconds) in execution
 /// order for the full truncated work `x_max · u`.
+#[cfg_attr(not(test), allow(dead_code))]
 fn solve(
     dist: &dyn FailureDistribution,
     ages: &[(f64, f64)],
     x_max: usize,
     u: f64,
     checkpoint: f64,
+) -> Vec<f64> {
+    solve_with_rows(dist, ages, x_max, u, checkpoint, None)
+}
+
+/// [`solve`] with an optional kernel-row source: `rows(i)` returns the
+/// packed-triangle log-survival row of `ages[i]` (see [`compute_row`]).
+/// Supplied rows must be exact — the cached-path and inline-path cell
+/// arithmetic is identical, so both produce the same bits.
+fn solve_with_rows(
+    dist: &dyn FailureDistribution,
+    ages: &[(f64, f64)],
+    x_max: usize,
+    u: f64,
+    checkpoint: f64,
+    rows: Option<&dyn Fn(usize) -> Arc<[f64]>>,
 ) -> Vec<f64> {
     assert!(u > 0.0, "quantum must be positive");
     // G(a, m) = Σⱼ countⱼ · ln S(τⱼ + a·u + m·C); m ranges one past x_max
@@ -528,28 +642,91 @@ fn solve(
     // striding a cache line per iteration.
     let m_max = x_max + 1;
     let t_span = x_max as f64 * u + (m_max + 1) as f64 * checkpoint;
-    let mut near: Vec<(f64, f64)> = Vec::with_capacity(ages.len());
+    let mut near: Vec<(usize, f64, f64)> = Vec::with_capacity(ages.len());
     let far = FarFit::build(dist, ages, t_span, &mut near);
-    let mut grid = vec![0.0f64; (m_max + 1) * (x_max + 1)];
-    let mut egrid = vec![0.0f64; (m_max + 1) * (x_max + 1)];
-    for a in 0..=x_max {
-        let au = a as f64 * u;
-        for m in 0..=(a + 1).min(m_max) {
-            let t = au + m as f64 * checkpoint;
-            let mut g = match &far {
-                Some(fit) => fit.eval(t),
-                None => 0.0,
-            };
-            for &(tau, c) in &near {
-                g += c * dist.log_survival(tau + t);
+    // The triangle is accumulated in a packed scratch first — far-fit
+    // values, then one contiguous multiply-add pass per near age (cached
+    // row when available, in-place evaluation otherwise) — and scattered
+    // into the m-major grids at the end. Per cell this performs the same
+    // float operations in the same order as a cell-at-a-time fill.
+    SOLVE_SCRATCH.with(|cell| {
+    let mut scratch = cell.borrow_mut();
+    let SolveScratch { tri, egrid, value, choice, hull } = &mut *scratch;
+    tri.clear();
+    tri.resize(triangle_len(x_max), 0.0);
+    if let Some(fit) = &far {
+        let mut i = 0usize;
+        for a in 0..=x_max {
+            let au = a as f64 * u;
+            for m in 0..=a + 1 {
+                let t = au + m as f64 * checkpoint;
+                tri[i] = fit.eval(t);
+                i += 1;
             }
-            grid[m * (x_max + 1) + a] = g;
-            egrid[m * (x_max + 1) + a] = g.exp();
         }
     }
+    match rows {
+        Some(rows) => {
+            // Fused pairs: one read-modify-write sweep of the triangle
+            // covers two cached rows. Per element the additions happen in
+            // the same order as two single-row passes — bit-identical —
+            // but the triangle's memory traffic halves, which is what
+            // bounds this loop (rows and triangle far exceed L2).
+            let mut k = 0usize;
+            while k + 1 < near.len() {
+                let (idx0, _, c0) = near[k];
+                let (idx1, _, c1) = near[k + 1];
+                let row0 = rows(idx0);
+                let row1 = rows(idx1);
+                debug_assert_eq!(row0.len(), tri.len(), "row/triangle shape mismatch");
+                debug_assert_eq!(row1.len(), tri.len(), "row/triangle shape mismatch");
+                for ((acc, &v0), &v1) in tri.iter_mut().zip(row0.iter()).zip(row1.iter()) {
+                    let mut g = *acc;
+                    g += c0 * v0;
+                    g += c1 * v1;
+                    *acc = g;
+                }
+                k += 2;
+            }
+            if let Some(&(idx, _, c)) = near.get(k) {
+                let row = rows(idx);
+                debug_assert_eq!(row.len(), tri.len(), "row/triangle shape mismatch");
+                for (acc, &v) in tri.iter_mut().zip(row.iter()) {
+                    *acc += c * v;
+                }
+            }
+        }
+        None => {
+            for &(_, tau, c) in &near {
+                let mut i = 0usize;
+                for a in 0..=x_max {
+                    let au = a as f64 * u;
+                    for m in 0..=a + 1 {
+                        let t = au + m as f64 * checkpoint;
+                        tri[i] += c * dist.log_survival(tau + t);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    // `G` stays in the packed triangle (`gg` below indexes it directly);
+    // only the exponentials get the m-major layout the DP scans. Cells
+    // outside the triangle are never read, so stale scratch is harmless.
+    egrid.resize((m_max + 1) * (x_max + 1), 0.0);
+    {
+        let mut i = 0usize;
+        for a in 0..=x_max {
+            for m in 0..=a + 1 {
+                egrid[m * (x_max + 1) + a] = tri[i].exp();
+                i += 1;
+            }
+        }
+    }
+    // Packed-triangle row `a` starts at Σ_{k<a}(k+2) = a(a+3)/2.
     let gg = |a: usize, m: usize| {
         debug_assert!(m <= a + 1, "G({a}, {m}) outside the filled triangle");
-        grid[m * (x_max + 1) + a]
+        tri[a * (a + 3) / 2 + m]
     };
     let ee = |a: usize, m: usize| {
         debug_assert!(m <= a + 1, "E({a}, {m}) outside the filled triangle");
@@ -576,15 +753,21 @@ fn solve(
     //
     // Within a column `n` the lines depend only on column n+1 and slopes
     // `R(j)` increase with `j` (an older platform survives less), so an
-    // incremental upper hull answers every state in O(log x_max) — the DP
-    // drops from O(x_max³) to O(x_max² log x_max). Ties prefer the
-    // earlier hull line (smaller `j` = bigger chunk), matching the direct
-    // loop's tie-to-larger-`i` rule.
+    // incremental upper hull answers every state cheaply — the DP drops
+    // from O(x_max³) to ~O(x_max²). Ties prefer the earlier hull line
+    // (smaller `j` = bigger chunk), matching the direct loop's
+    // tie-to-larger-`i` rule.
     let stride = x_max + 1;
-    let mut value = vec![0.0f64; stride * stride];
-    let mut choice = vec![0u32; stride * stride];
+    // Column 0 of every row is the V(0, ·) = 0 base case and row `x_max`
+    // is read (at column 0 only) before any write reaches it, so the
+    // whole buffer is re-zeroed on reuse. `choice` is only ever read at
+    // states the backward pass wrote this solve, so its stale contents
+    // don't matter.
+    value.clear();
+    value.resize(stride * stride, 0.0);
+    choice.resize(stride * stride, 0);
     // (slope, intercept, j) lines of the current column's hull.
-    let mut hull: Vec<(f64, f64, u32)> = Vec::with_capacity(stride);
+    hull.clear();
     for n in (0..x_max).rev() {
         let x_hi = x_max - n;
         let erow = &egrid[(n + 1) * stride..(n + 2) * stride];
@@ -592,6 +775,12 @@ fn solve(
         let (vcur, vnext) = value.split_at_mut((n + 1) * stride);
         let vrow = &vnext[..stride];
         hull.clear();
+        // Within a column the query point `z = x·u` increases with `x`
+        // and hull slopes increase with insertion order, so the winning
+        // line's index never moves left: a pointer that only advances
+        // (clamped when pops shorten the hull) lands on the same earliest
+        // peak the binary search found, in amortised O(1).
+        let mut best = 0usize;
         for x in 1..=x_hi {
             // Line j = x − 1 becomes a valid transition target at this x.
             let j = x - 1;
@@ -630,22 +819,21 @@ fn solve(
             let e_base = ee(a, n);
             if e_base > 0.0 {
                 // Hull values at fixed `z` rise to a single peak and then
-                // fall (consecutive differences change sign once), so the
-                // peak is found by binary search; strict `>` lands on the
-                // earliest peak line on exact ties.
-                let mut lo = 0usize;
-                let mut hi = hull.len() - 1;
-                while lo < hi {
-                    let mid = (lo + hi) / 2;
-                    let (r0, q0, _) = hull[mid];
-                    let (r1, q1, _) = hull[mid + 1];
+                // fall (consecutive differences change sign once); strict
+                // `>` lands on the earliest peak line on exact ties.
+                if best >= hull.len() {
+                    best = hull.len() - 1;
+                }
+                while best + 1 < hull.len() {
+                    let (r0, q0, _) = hull[best];
+                    let (r1, q1, _) = hull[best + 1];
                     if q1 + r1 * z > q0 + r0 * z {
-                        lo = mid + 1;
+                        best += 1;
                     } else {
-                        hi = mid;
+                        break;
                     }
                 }
-                let (r0, q0, j0) = hull[lo];
+                let (r0, q0, j0) = hull[best];
                 vcur[n * stride + x] = (q0 + r0 * z) / e_base;
                 choice[n * stride + x] = x as u32 - j0;
             } else {
@@ -682,6 +870,25 @@ fn solve(
         n += 1;
     }
     chunks
+    })
+}
+
+/// Reusable backing storage for [`solve_with_rows`]. One solve touches a
+/// few MB of triangle/grid/DP-table scratch; allocating (and kernel-
+/// zeroing) that per solve dominated the solve's own arithmetic, so each
+/// thread keeps one set of buffers warm across solves.
+#[derive(Default)]
+struct SolveScratch {
+    tri: Vec<f64>,
+    egrid: Vec<f64>,
+    value: Vec<f64>,
+    choice: Vec<u32>,
+    hull: Vec<(f64, f64, u32)>,
+}
+
+thread_local! {
+    static SOLVE_SCRATCH: std::cell::RefCell<SolveScratch> =
+        std::cell::RefCell::new(SolveScratch::default());
 }
 
 /// The expected work completed by a given schedule (Proposition 3's
@@ -797,7 +1004,7 @@ mod tests {
         let ages = AgeView::single(0.0);
         let plan = dp.plan(spec.work, &ages);
         let opt = crate::OptExp::new(&spec, 1.0 / mtbf).period();
-        for &c in &plan {
+        for &c in plan.iter() {
             assert!(
                 (0.5 * opt..2.0 * opt).contains(&c),
                 "chunk {c} far from OptExp period {opt}"

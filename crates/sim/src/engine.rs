@@ -115,13 +115,16 @@ impl UnitState {
     }
 
     /// Build the age snapshot without sorting (recency is descending, so
-    /// ages come out ascending as [`AgeView`] requires).
-    fn ages(&self, procs: u64, procs_per_unit: u32, now: f64) -> AgeView {
-        let failed: Vec<(f64, u32)> =
-            self.recency.iter().map(|&t| (now - t, procs_per_unit)).collect();
-        let failed_procs = failed.len() as u64 * u64::from(procs_per_unit);
+    /// ages come out ascending as [`AgeView`] requires). `buf` is a recycled
+    /// backing vector — the decision loop reclaims it from the previous
+    /// snapshot via [`AgeView::into_failed`], so steady-state simulation
+    /// allocates no per-decision memory.
+    fn ages_into(&self, procs: u64, procs_per_unit: u32, now: f64, mut buf: Vec<(f64, u32)>) -> AgeView {
+        buf.clear();
+        buf.extend(self.recency.iter().map(|&t| (now - t, procs_per_unit)));
+        let failed_procs = buf.len() as u64 * u64::from(procs_per_unit);
         let pristine = procs.saturating_sub(failed_procs);
-        AgeView::from_sorted(failed, pristine, now)
+        AgeView::from_sorted(buf, pristine, now)
     }
 }
 
@@ -150,6 +153,8 @@ fn simulate_impl(
     let mut decisions = 0u64;
     // Smallest work slice the engine tracks; below this the job is done.
     let eps = spec.work * 1e-12;
+    // Recycled backing storage for the per-decision age snapshot.
+    let mut age_buf: Vec<(f64, u32)> = Vec::new();
 
     // Pop the next event at or after `now`, skipping events shadowed by
     // their own unit's downtime.
@@ -173,11 +178,12 @@ fn simulate_impl(
             options.max_decisions
         );
         let ages = if session.wants_ages() {
-            state.ages(spec.procs, procs_per_unit, now)
+            state.ages_into(spec.procs, procs_per_unit, now, std::mem::take(&mut age_buf))
         } else {
             AgeView::all_pristine(spec.procs, now)
         };
         let chunk = sanitize_chunk(session.next_chunk(remaining, &ages, now - start_time), remaining);
+        age_buf = ages.into_failed();
         stats.observe_chunk(chunk);
         let attempt = chunk + spec.checkpoint;
         log.push(now, EventKind::ChunkStart { work: chunk });

@@ -1,0 +1,74 @@
+//! Cache sharing must be observationally invisible.
+//!
+//! `DpNextFailure` instances now share one process-wide plan/kernel-row
+//! cache ([`DpCaches::global`]); a policy built with a private cache
+//! ([`DpCaches::private`]) recomputes every solve from scratch. Whatever
+//! the cache serves, the simulated [`RunStats`] must stay *bit-identical*:
+//! plans are keyed by the exact quantised state, kernel rows are pure
+//! functions of their key, and FIFO eviction only ever forces a
+//! recompute — never a different value. This property test drives random
+//! Weibull scenarios through both configurations (and through a warm
+//! shared cache a second time) and compares the full stats structs.
+
+use ckpt_dist::Weibull;
+use ckpt_math::SeedSequence;
+use ckpt_platform::{Topology, TraceSet};
+use ckpt_policies::{DpCaches, DpNextFailure, DpNextFailureConfig, Policy};
+use ckpt_sim::engine::simulate_traceset;
+use ckpt_sim::{RunStats, SimOptions};
+use ckpt_workload::JobSpec;
+use proptest::prelude::*;
+
+fn run(policy: &DpNextFailure, spec: &JobSpec, traces: &TraceSet) -> RunStats {
+    let mut session = policy.session();
+    simulate_traceset(spec, &mut *session, traces, SimOptions::default())
+}
+
+proptest! {
+    // DP solves are the expensive part of a case; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn run_stats_bit_identical_across_cache_sharing(
+        shape in 0.5..1.3f64,
+        mtbf in 20_000.0..400_000.0f64,
+        work in 5_000.0..80_000.0f64,
+        checkpoint in 60.0..900.0f64,
+        units in 1usize..4,
+        seed in 0u64..1_000u64,
+    ) {
+        let dist = Weibull::from_mtbf(shape, mtbf);
+        let traces = TraceSet::generate(
+            &dist,
+            units,
+            Topology::per_processor(),
+            1e9,
+            0.0,
+            SeedSequence::new(seed),
+        );
+        let spec = JobSpec {
+            procs: units as u64,
+            ..JobSpec::sequential(work, checkpoint, checkpoint, 60.0)
+        };
+        let cfg = DpNextFailureConfig { quanta: Some(30), ..Default::default() };
+
+        let shared =
+            DpNextFailure::new(&spec, Box::new(dist), mtbf, cfg);
+        let private = DpNextFailure::with_caches(
+            &spec,
+            Box::new(Weibull::from_mtbf(shape, mtbf)),
+            mtbf,
+            cfg,
+            DpCaches::private(),
+        );
+
+        let via_shared = run(&shared, &spec, &traces);
+        let via_private = run(&private, &spec, &traces);
+        // Second pass over the shared instance: every plan it needs is now
+        // warm, so this run is served almost entirely from the cache.
+        let via_warm = run(&shared, &spec, &traces);
+
+        prop_assert_eq!(&via_shared, &via_private);
+        prop_assert_eq!(&via_shared, &via_warm);
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Fast perf-regression smoke: one small fixed-seed bench cell plus the
+# golden byte-identity gate, in well under a minute.
+#
+#   1. regenerate the golden cells into a temp dir and byte-compare them
+#      against the committed results/golden/ — any numeric drift in the
+#      pipeline (policy math, caches, scheduling) fails here;
+#   2. run the standard Petascale Weibull bench cell at a reduced trace
+#      count and print the per-stage breakdown and the plan-cache
+#      counters, so a perf regression is visible at a glance.
+#
+# Usage: scripts/bench_smoke.sh [TRACES]
+#   TRACES — trace count for the bench cell (default 4; seeds are fixed,
+#            so repeated runs are comparable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACES=${1:-4}
+
+echo "== build (release) =="
+cargo build --release -q -p ckpt-exp
+
+echo "== golden drift gate =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p ckpt-exp --bin gen_golden "$tmp" 2>/dev/null
+for f in results/golden/*.json; do
+  if ! cmp -s "$f" "$tmp/$(basename "$f")"; then
+    echo "GOLDEN DRIFT: $(basename "$f") differs from committed results/golden/" >&2
+    exit 1
+  fi
+done
+echo "golden cells byte-identical ($(ls results/golden/*.json | wc -l) files)"
+
+echo "== bench cell (traces=$TRACES, fixed seeds) =="
+cargo run --release -q -p ckpt-exp --bin bench_pipeline -- \
+  --traces "$TRACES" --label smoke --search coarse | \
+  if command -v jq >/dev/null; then
+    jq '{total_seconds, stages: .pipeline.stages, plan_cache: .pipeline.plan_cache}'
+  else
+    cat
+  fi
+
+echo "== bench_smoke.sh: all green =="

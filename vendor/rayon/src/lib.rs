@@ -47,9 +47,27 @@ impl<T> ParallelSlice<T> for [T] {
     }
 }
 
+/// rayon's `IndexedParallelIterator` granularity hints. In the sequential
+/// stub these are no-ops: splitting hints only matter to a work-stealing
+/// scheduler, and the sequential iterator already visits items one by one
+/// in order.
+pub trait IndexedParallelIterator: Iterator + Sized {
+    /// Cap the number of items a stolen chunk may contain (no-op here).
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Floor on items per chunk (no-op here).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator + Sized> IndexedParallelIterator for I {}
+
 /// The names user code imports via `use rayon::prelude::*`.
 pub mod prelude {
-    pub use super::{IntoParallelIterator, ParallelSlice};
+    pub use super::{IndexedParallelIterator, IntoParallelIterator, ParallelSlice};
 }
 
 /// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
