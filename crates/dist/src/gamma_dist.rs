@@ -91,7 +91,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Regularized upper incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)`.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0);
-    if x == 0.0 {
+    if x == 0.0 { // lint: allow(float-eq) — exact zero fast path, not a tolerance check
         return 1.0;
     }
     if x < a + 1.0 {

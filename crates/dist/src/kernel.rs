@@ -93,7 +93,7 @@ impl KernelTable {
             return 1.0;
         }
         let ls_tau = self.log_survival(tau.max(0.0));
-        if ls_tau == f64::NEG_INFINITY {
+        if ls_tau == f64::NEG_INFINITY { // lint: allow(float-eq) — -inf log-survival sentinel is an exact bit pattern
             return 0.0;
         }
         (self.log_survival(tau.max(0.0) + x) - ls_tau).exp()

@@ -1,0 +1,208 @@
+//! Per-file scan context: token stream plus the two line-range overlays
+//! every rule needs — `#[cfg(test)]` regions and `// lint: allow(...)`
+//! pragma suppressions.
+
+use crate::lexer::{matching_brace, Comment, Lexed, Token, TokenKind};
+
+/// One parsed `// lint: allow(rule, ...)` pragma with its suppression
+/// range: the comment's own lines plus the first code line after it, so
+/// both trailing (`stmt; // lint: allow(r)`) and preceding-line pragmas
+/// work. A pragma directly above a `fn`/`impl`/`mod` header therefore
+/// covers the header line — which is where block-granular rules (the
+/// kernel index audit) anchor their findings.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule names listed in the pragma (unvalidated; the
+    /// `unknown-pragma` rule checks them).
+    pub rules: Vec<String>,
+    /// First suppressed line (1-based, inclusive).
+    pub start: u32,
+    /// Last suppressed line (1-based, inclusive).
+    pub end: u32,
+    /// Line the pragma comment itself starts on (for diagnostics).
+    pub line: u32,
+}
+
+/// Everything a rule scanner sees for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Raw source (for snippets).
+    pub source: &'a str,
+    /// Code tokens.
+    pub tokens: &'a [Token],
+    /// Comments with line spans.
+    pub comments: &'a [Comment],
+    /// Parsed pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Line ranges of `#[cfg(test)]` items (inclusive).
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context for one lexed file.
+    pub fn build(path: &'a str, source: &'a str, lexed: &'a Lexed) -> FileCtx<'a> {
+        let pragmas = collect_pragmas(&lexed.comments, &lexed.tokens);
+        let test_regions = collect_test_regions(&lexed.tokens);
+        FileCtx { path, source, tokens: &lexed.tokens, comments: &lexed.comments, pragmas, test_regions }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..=e).contains(&line))
+    }
+
+    /// Whether a finding of `rule` at `line` is pragma-suppressed.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| (p.start..=p.end).contains(&line) && p.rules.iter().any(|r| r == rule))
+    }
+
+    /// The trimmed source line `line` (1-based), for diagnostics.
+    pub fn snippet(&self, line: u32) -> String {
+        self.source
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .map(str::trim)
+            .unwrap_or_default()
+            .to_string()
+    }
+}
+
+/// Extract `lint: allow(a, b)` from a comment's text. Doc comments
+/// (`///`, `//!`, `/**`, `/*!`) never carry pragmas — prose *describing*
+/// the pragma syntax must not suppress anything.
+fn parse_pragma(text: &str) -> Option<Vec<String>> {
+    let is_doc = text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!");
+    if is_doc {
+        return None;
+    }
+    let after = text.split_once("lint:")?.1;
+    let after = after.trim_start().strip_prefix("allow")?;
+    let inner = after.trim_start().strip_prefix('(')?;
+    let (list, _) = inner.split_once(')')?;
+    Some(
+        list.split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+fn collect_pragmas(comments: &[Comment], tokens: &[Token]) -> Vec<Pragma> {
+    comments
+        .iter()
+        .filter_map(|c| {
+            let rules = parse_pragma(&c.text)?;
+            // Suppress through the first code line after the comment (or
+            // just the comment's lines when nothing follows).
+            let next_code_line = tokens
+                .iter()
+                .find(|t| t.line > c.end_line)
+                .map(|t| t.line)
+                .unwrap_or(c.end_line);
+            Some(Pragma { rules, start: c.start_line, end: next_code_line, line: c.start_line })
+        })
+        .collect()
+}
+
+/// Locate `#[cfg(test)]`-gated items and return their line extents.
+fn collect_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < tokens.len() {
+        let is_attr_start = tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].kind == TokenKind::Ident
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "(";
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Scan the cfg predicate for a bare `test` (covers `cfg(test)`
+        // and `cfg(all(test, ...))`).
+        let mut j = i + 4;
+        let mut depth = 1i32;
+        let mut gates_test = false;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                "test" if tokens[j].kind == TokenKind::Ident => gates_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if gates_test {
+            // First `{` after the attribute opens the gated item.
+            if let Some(open) = (j..tokens.len()).find(|&k| tokens[k].text == "{") {
+                if let Some(close) = matching_brace(tokens, open) {
+                    regions.push((tokens[i].line, tokens[close].line));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i = j;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn pragma_covers_comment_and_next_code_line() {
+        let src = "fn a() {}\n// lint: allow(float-eq) — sentinel\nfn b() {}\nfn c() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert!(ctx.suppressed("float-eq", 2));
+        assert!(ctx.suppressed("float-eq", 3));
+        assert!(!ctx.suppressed("float-eq", 4));
+        assert!(!ctx.suppressed("other-rule", 3));
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let src = "let x = a == 0.0; // lint: allow(float-eq)\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert!(ctx.suppressed("float-eq", 1));
+    }
+
+    #[test]
+    fn multi_rule_pragma_parses_both() {
+        let src = "// lint: allow(float-eq, todo-fixme-gate): reason\nlet x = 1;\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert!(ctx.suppressed("float-eq", 2));
+        assert!(ctx.suppressed("todo-fixme-gate", 2));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert_eq!(ctx.test_regions, vec![(2, 5)]);
+        assert!(ctx.in_test_region(4));
+        assert!(!ctx.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_plain_cfg_does_not() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { }\n#[cfg(unix)]\nmod n { fn f() {} }\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert_eq!(ctx.test_regions.len(), 1);
+        assert!(ctx.in_test_region(2));
+        assert!(!ctx.in_test_region(4));
+    }
+}

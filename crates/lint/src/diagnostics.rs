@@ -1,0 +1,165 @@
+//! Finding model and the two output formats: rustc-style text and
+//! machine-readable JSON (hand-emitted — the linter is dependency-free).
+
+use crate::config::Severity;
+use std::fmt::Write as _;
+
+/// One confirmed finding after path/test/pragma filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Registered rule name.
+    pub rule: String,
+    /// Effective severity (post-config).
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Defect statement.
+    pub message: String,
+    /// Trimmed source line.
+    pub snippet: String,
+}
+
+/// Aggregated run result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by `// lint: allow(...)` pragmas.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of deny-level findings (these fail the run).
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+
+    /// rustc-style human output plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}[{}]: {}", f.severity.as_str(), f.rule, f.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", f.path, f.line, f.col);
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "   |  {}", f.snippet);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ckpt-lint: {} files scanned, {} findings ({} deny, {} warn), {} pragma-suppressed",
+            self.files_scanned,
+            self.findings.len(),
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed,
+        );
+        out
+    }
+
+    /// Machine-readable JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                escape_json(&f.rule),
+                f.severity.as_str(),
+                escape_json(&f.path),
+                f.line,
+                f.col,
+                escape_json(&f.message),
+                escape_json(&f.snippet),
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"summary\": {{\"files_scanned\": {}, \"deny\": {}, \"warn\": {}, \
+             \"suppressed\": {}}}\n}}",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed,
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "float-eq".into(),
+            severity: Severity::Deny,
+            path: "crates/math/src/roots.rs".into(),
+            line: 14,
+            col: 11,
+            message: "`==` against a float \"constant\"".into(),
+            snippet: "if fa == 0.0 {".into(),
+        }
+    }
+
+    #[test]
+    fn human_output_is_rustc_shaped() {
+        let r = Report { findings: vec![finding()], files_scanned: 3, suppressed: 2 };
+        let s = r.render_human();
+        assert!(s.contains("deny[float-eq]:"));
+        assert!(s.contains("--> crates/math/src/roots.rs:14:11"));
+        assert!(s.contains("3 files scanned, 1 findings (1 deny, 0 warn), 2 pragma-suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let r = Report { findings: vec![finding()], files_scanned: 3, suppressed: 2 };
+        let s = r.render_json();
+        assert!(s.contains("\\\"constant\\\""));
+        assert!(s.contains("\"deny\": 1"));
+        assert!(s.contains("\"suppressed\": 2"));
+        assert_eq!(escape_json("a\nb\"c\\d"), "a\\nb\\\"c\\\\d");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report { findings: vec![], files_scanned: 0, suppressed: 0 };
+        assert!(r.render_json().contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,146 @@
+//! `ckpt-lint` — workspace determinism & safety lint.
+//!
+//! The simulation study is pinned by golden results that must stay
+//! byte-identical at 1 and 8 rayon threads. Nothing in rustc or clippy
+//! statically prevents the classic determinism killers — unordered
+//! parallel float reduction, hash-order iteration feeding result rows,
+//! wall-clock reads inside sim paths, naked transcendentals bypassing
+//! the `KernelTable` — so this crate does: a small comment/string-aware
+//! Rust lexer plus per-rule token scanners, run as
+//! `cargo run --release -p ckpt-lint` and wired into `scripts/check.sh`
+//! as the fourth gate.
+//!
+//! * Rules and their contracts live in [`rules`]; scoping and severity
+//!   in the checked-in `lint.toml` ([`config`]).
+//! * Deliberate exceptions carry `// lint: allow(rule)` line pragmas
+//!   with a justification ([`context`]).
+//! * Output is rustc-style `path:line:col` text or `--json`
+//!   ([`diagnostics`]); any deny-level finding exits nonzero.
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use config::{is_test_path, rule_applies_to, Config, Severity};
+use context::FileCtx;
+use diagnostics::{Finding, Report};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Findings (post-filtering) plus the pragma-suppression count for one
+/// source file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Surviving findings, sorted by (line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by pragmas.
+    pub suppressed: usize,
+}
+
+/// Lint one file's source under `config`. `rel_path` decides rule
+/// scoping, so fixture tests can place a snippet anywhere in the
+/// (virtual) workspace.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> FileOutcome {
+    let lexed = lexer::lex(source);
+    let ctx = FileCtx::build(rel_path, source, &lexed);
+    let mut outcome = FileOutcome::default();
+    for rule in rules::ALL_RULES {
+        let rc = config.rule(rule);
+        if rc.severity == Severity::Allow || !rule_applies_to(rc, rel_path) {
+            continue;
+        }
+        if rc.skip_tests && is_test_path(rel_path) {
+            continue;
+        }
+        for found in rules::scan(rule, &ctx, rc) {
+            if rc.skip_tests && ctx.in_test_region(found.line) {
+                continue;
+            }
+            if ctx.suppressed(rule, found.line) {
+                outcome.suppressed += 1;
+                continue;
+            }
+            outcome.findings.push(Finding {
+                rule: (*rule).to_string(),
+                severity: rc.severity,
+                path: rel_path.to_string(),
+                line: found.line,
+                col: found.col,
+                message: found.message,
+                snippet: ctx.snippet(found.line),
+            });
+        }
+    }
+    outcome.findings.sort_by(|a, b| {
+        (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
+    });
+    outcome
+}
+
+/// Lint every `.rs` file of the workspace at `root` under `config`.
+pub fn run_workspace(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (rel, abs) in walk::workspace_files(root, config)? {
+        let source = fs::read_to_string(&abs)?;
+        let outcome = lint_source(&rel, &source, config);
+        report.findings.extend(outcome.findings);
+        report.suppressed += outcome.suppressed;
+        report.files_scanned += 1;
+    }
+    // Files were walked in sorted order and per-file findings are
+    // sorted, so the report is already deterministic.
+    Ok(report)
+}
+
+/// Load `root/lint.toml` when present, else the built-in defaults.
+pub fn load_config(root: &Path) -> Result<Config, config::ConfigError> {
+    let path = root.join("lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::from_toml(&text),
+        Err(_) => Ok(Config::default_config()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_applies_scope_tests_and_pragmas() {
+        let cfg = Config::default_config();
+        // float-eq skips test regions…
+        let src = "fn live() { if x == 0.0 { } }\n#[cfg(test)]\nmod t { fn f() { if y == 0.0 { } } }\n";
+        let out = lint_source("crates/dist/src/x.rs", src, &cfg);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 1);
+        // …and whole tests/ trees.
+        assert!(lint_source("crates/dist/tests/x.rs", src, &cfg).findings.is_empty());
+        // Pragmas count as suppressed, not found.
+        let sup = "fn live() { if x == 0.0 { } } // lint: allow(float-eq)\n";
+        let out = lint_source("crates/dist/src/x.rs", sup, &cfg);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn rule_scoping_follows_paths() {
+        let cfg = Config::default_config();
+        let src = "use std::time::Instant;\n";
+        assert_eq!(lint_source("crates/sim/src/engine.rs", src, &cfg).findings.len(), 1);
+        // exp's perf layer is outside the rule's paths.
+        assert!(lint_source("crates/exp/src/perf.rs", src, &cfg).findings.is_empty());
+    }
+
+    #[test]
+    fn severity_allow_disables_a_rule() {
+        let mut cfg = Config::default_config();
+        cfg.rules.get_mut("float-eq").map(|r| r.severity = Severity::Allow);
+        let out = lint_source("crates/dist/src/x.rs", "fn f() { if x == 0.0 { } }\n", &cfg);
+        assert!(out.findings.is_empty());
+    }
+}

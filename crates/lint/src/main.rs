@@ -1,0 +1,115 @@
+//! `ckpt-lint` CLI.
+//!
+//! ```text
+//! ckpt-lint [--json] [--root DIR] [--config FILE] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 = no deny-level findings, 1 = deny-level findings,
+//! 2 = usage/config/io error.
+
+use ckpt_lint::{config::Config, load_config, run_workspace, rules, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: ckpt-lint [--json] [--root DIR] [--config FILE] [--list-rules]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { json: false, root: None, config: None, list_rules: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                ))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--config needs a file".to_string())?,
+                ))
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in rules::ALL_RULES {
+            println!("{rule}: {}", rules::rule_summary(rule));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir().ok().and_then(|cwd| walk::find_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("ckpt-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = match &args.config {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Config::from_toml(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ckpt-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("ckpt-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match load_config(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ckpt-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match run_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ckpt-lint: walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,649 @@
+//! The rule scanners.
+//!
+//! Each rule protects one concrete invariant of the golden-result
+//! bit-identity contract (byte-identical study output at 1 and 8 rayon
+//! threads) or of the workspace's safety discipline. Scanners are
+//! lexical — they work on the token stream of one file, never across
+//! files — so each rule documents exactly what it can and cannot see.
+
+use crate::config::{RuleConfig, Severity};
+use crate::context::FileCtx;
+use crate::lexer::{matching_brace, TokenKind};
+
+/// One raw finding, before path/test/pragma filtering.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable defect statement.
+    pub message: String,
+}
+
+/// Every registered rule, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    "unordered-float-reduce",
+    "nondeterministic-iteration",
+    "unsafe-needs-safety-comment",
+    "wall-clock-in-sim",
+    "naked-transcendental-in-hot-path",
+    "float-eq",
+    "panicking-index-in-kernel",
+    "todo-fixme-gate",
+    "unknown-pragma",
+];
+
+/// Baked-in default scoping per rule; `lint.toml` overrides.
+pub fn default_rule_config(rule: &str) -> RuleConfig {
+    let mut rc = RuleConfig::default();
+    match rule {
+        "nondeterministic-iteration" => {
+            // Crates whose state feeds RunStats / reduce rows.
+            rc.paths = vec![
+                "crates/sim/src".into(),
+                "crates/policies/src".into(),
+                "crates/exp/src".into(),
+                "crates/platform/src".into(),
+                "crates/traces/src".into(),
+                "crates/core/src".into(),
+                "src".into(),
+            ];
+            rc.skip_tests = true;
+        }
+        "wall-clock-in-sim" => {
+            rc.paths = vec![
+                "crates/sim/src".into(),
+                "crates/policies/src".into(),
+                "crates/dist/src".into(),
+            ];
+        }
+        "naked-transcendental-in-hot-path" => {
+            rc.paths = vec![
+                "crates/policies/src/dp_next_failure.rs".into(),
+                "crates/policies/src/dp_makespan.rs".into(),
+            ];
+            rc.skip_tests = true;
+        }
+        "float-eq" => {
+            rc.skip_tests = true;
+        }
+        "panicking-index-in-kernel" => {
+            rc.paths = vec!["crates/policies/src/dp_next_failure.rs".into()];
+            rc.functions = vec!["solve_with_rows".into(), "compute_row".into()];
+        }
+        _ => {}
+    }
+    debug_assert!(ALL_RULES.contains(&rule), "unregistered rule `{rule}`");
+    rc
+}
+
+/// One-line contract statement per rule (for `--list-rules` and docs).
+pub fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "unordered-float-reduce" => {
+            "parallel float reductions (`par_iter().sum()/reduce()/fold()`) are \
+             schedule-dependent; results must flow through an order-preserving drain"
+        }
+        "nondeterministic-iteration" => {
+            "iterating a HashMap/HashSet yields hash-order (seeded per process); \
+             result-feeding crates must use BTreeMap or sort explicitly"
+        }
+        "unsafe-needs-safety-comment" => {
+            "every `unsafe` block/fn/impl must carry a `// SAFETY:` audit comment \
+             within the preceding 3 lines"
+        }
+        "wall-clock-in-sim" => {
+            "`Instant`/`SystemTime` in simulation crates leaks wall-clock into \
+             reproducible paths; timing belongs in ckpt-exp's perf layer"
+        }
+        "naked-transcendental-in-hot-path" => {
+            "`powf`/`exp`/`ln` in the DP decision loops bypass the KernelTable \
+             fast path; route through tabulated kernels or pragma the audited site"
+        }
+        "float-eq" => {
+            "`==`/`!=` against a float constant is an exact-bits assumption; \
+             pragma deliberate sentinel checks, otherwise compare with a tolerance"
+        }
+        "panicking-index-in-kernel" => {
+            "audited kernel functions use panicking `[]` indexing; each function \
+             needs a pragma re-affirming the bounds audit after any edit"
+        }
+        "todo-fixme-gate" => "TODO/FIXME/XXX/HACK markers must not land on main",
+        "unknown-pragma" => "a `// lint: allow(...)` pragma names an unregistered rule",
+        _ => "unregistered rule",
+    }
+}
+
+/// Run one rule's scanner over a file.
+pub fn scan(rule: &str, ctx: &FileCtx<'_>, rc: &RuleConfig) -> Vec<RawFinding> {
+    match rule {
+        "unordered-float-reduce" => unordered_float_reduce(ctx),
+        "nondeterministic-iteration" => nondeterministic_iteration(ctx),
+        "unsafe-needs-safety-comment" => unsafe_needs_safety_comment(ctx),
+        "wall-clock-in-sim" => wall_clock_in_sim(ctx),
+        "naked-transcendental-in-hot-path" => naked_transcendental(ctx),
+        "float-eq" => float_eq(ctx),
+        "panicking-index-in-kernel" => panicking_index_in_kernel(ctx, rc),
+        "todo-fixme-gate" => todo_fixme_gate(ctx),
+        "unknown-pragma" => unknown_pragma(ctx),
+        _ => Vec::new(),
+    }
+}
+
+/// Severity used when a config file is absent (all rules deny).
+pub const DEFAULT_SEVERITY: Severity = Severity::Deny;
+
+fn raw(line: u32, col: u32, message: String) -> RawFinding {
+    RawFinding { line, col, message }
+}
+
+fn ident_at(ctx: &FileCtx<'_>, i: usize, text: &str) -> bool {
+    ctx.tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(ctx: &FileCtx<'_>, i: usize, text: &str) -> bool {
+    ctx.tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+// ---------------------------------------------------------------- rule 1
+
+const PAR_SOURCES: &[&str] =
+    &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge", "par_chunks", "par_windows"];
+const UNORDERED_SINKS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// `par_iter().…sum()/reduce()/fold()` in one method chain: the combine
+/// order is whatever the rayon scheduler produced, so float results are
+/// not bit-stable across thread counts. (A reduction stored and summed
+/// in a later statement escapes this scanner — the ordered-drain
+/// executor is the sanctioned pattern either way.)
+fn unordered_float_reduce(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if !(t[i].kind == TokenKind::Ident && PAR_SOURCES.contains(&t[i].text.as_str())) {
+            continue;
+        }
+        if i == 0 || !punct_at(ctx, i - 1, ".") {
+            continue;
+        }
+        // Walk the rest of the chain at nesting depth 0 (closure bodies
+        // inside call arguments sit at depth ≥ 1).
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < t.len() {
+            match t[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            if depth == 0
+                && punct_at(ctx, j, ".")
+                && t.get(j + 1).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && UNORDERED_SINKS.contains(&n.text.as_str())
+                })
+                && (punct_at(ctx, j + 2, "(") || punct_at(ctx, j + 2, "::"))
+            {
+                let sink = &t[j + 1];
+                out.push(raw(
+                    sink.line,
+                    sink.col,
+                    format!(
+                        "`{}()` chained onto `{}()` reduces in scheduler order; \
+                         collect in input order (exp::exec drain) and reduce sequentially",
+                        sink.text, t[i].text
+                    ),
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 2
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "par_iter",
+    "into_par_iter",
+];
+
+/// Names bound to HashMap/HashSet in this file (let bindings with type
+/// or `::new()` initialiser, struct fields, fn params — including
+/// wrapped forms like `Mutex<HashMap<…>>`).
+fn hash_bound_names(ctx: &FileCtx<'_>) -> Vec<String> {
+    let t = ctx.tokens;
+    let mut names = Vec::new();
+    for i in 0..t.len() {
+        if !(t[i].kind == TokenKind::Ident && HASH_TYPES.contains(&t[i].text.as_str())) {
+            continue;
+        }
+        // Walk left: over path qualifiers, wrapper generics, and
+        // reference/mut sigils, to the `:` or `=` that names the binding.
+        let mut j = i;
+        let name = loop {
+            while j >= 2 && punct_at(ctx, j - 1, "::") && t[j - 2].kind == TokenKind::Ident {
+                j -= 2;
+            }
+            while j >= 1
+                && (punct_at(ctx, j - 1, "&")
+                    || ident_at(ctx, j - 1, "mut")
+                    || ident_at(ctx, j - 1, "dyn")
+                    || t[j - 1].kind == TokenKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if j < 2 {
+                break None;
+            }
+            if punct_at(ctx, j - 1, "<") && t[j - 2].kind == TokenKind::Ident {
+                // Inside a wrapper generic (`Mutex<HashMap<…>>`): restart
+                // the walk from the wrapper type.
+                j -= 2;
+                continue;
+            }
+            if (punct_at(ctx, j - 1, ":") || punct_at(ctx, j - 1, "="))
+                && t[j - 2].kind == TokenKind::Ident
+            {
+                break Some(t[j - 2].text.clone());
+            }
+            break None;
+        };
+        if let Some(n) = name {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names
+}
+
+/// Iterating a hash container: hash order differs between processes
+/// (`RandomState` is seeded) and so between any two study runs.
+fn nondeterministic_iteration(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let names = hash_bound_names(ctx);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident {
+            continue;
+        }
+        // Direct iteration methods: `name.iter()`, `name.drain()`, ….
+        if names.iter().any(|n| n == &t[i].text)
+            && punct_at(ctx, i + 1, ".")
+            && t.get(i + 2).is_some_and(|m| {
+                m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+            && (punct_at(ctx, i + 3, "(") || punct_at(ctx, i + 3, "::"))
+        {
+            let m = &t[i + 2];
+            out.push(raw(
+                m.line,
+                m.col,
+                format!(
+                    "`{}.{}()` iterates a hash container in seeded hash order; \
+                     use BTreeMap/BTreeSet or collect-and-sort before feeding results",
+                    t[i].text, m.text
+                ),
+            ));
+        }
+        // `for x in [&mut] name {`.
+        if ident_at(ctx, i, "for") {
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            while j < t.len() && j < i + 40 {
+                match t[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 && t[j].kind == TokenKind::Ident => break,
+                    "{" | ";" => {
+                        j = t.len();
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < t.len() && (punct_at(ctx, k, "&") || ident_at(ctx, k, "mut")) {
+                k += 1;
+            }
+            if k < t.len()
+                && t[k].kind == TokenKind::Ident
+                && names.iter().any(|n| n == &t[k].text)
+                && punct_at(ctx, k + 1, "{")
+            {
+                out.push(raw(
+                    t[k].line,
+                    t[k].col,
+                    format!(
+                        "`for … in {}` iterates a hash container in seeded hash order; \
+                         use BTreeMap/BTreeSet or sort keys first",
+                        t[k].text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 3
+
+/// `unsafe` without a `// SAFETY:` comment in the 3 lines above it (or
+/// on the same line).
+fn unsafe_needs_safety_comment(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for tok in ctx.tokens.iter().filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe") {
+        let line = tok.line;
+        let audited = ctx.comments.iter().any(|c| {
+            c.start_line <= line
+                && c.end_line + 3 >= line
+                && (c.text.contains("SAFETY:") || c.text.contains("Safety:"))
+        });
+        if !audited {
+            out.push(raw(
+                line,
+                tok.col,
+                "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 4
+
+/// Wall-clock types anywhere in the simulation crates. Even an unused
+/// import is flagged: timing belongs in ckpt-exp's perf layer, which
+/// wraps the deterministic pipeline from outside.
+fn wall_clock_in_sim(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    ctx.tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime"))
+        .map(|t| {
+            raw(
+                t.line,
+                t.col,
+                format!(
+                    "`{}` in a simulation crate: wall-clock reads cannot appear in \
+                     reproducible sim paths (move timing to ckpt-exp's perf layer)",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- rule 5
+
+const TRANSCENDENTALS: &[&str] =
+    &["powf", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log", "log2", "log10"];
+
+/// Naked transcendental method calls in the DP hot-path files. The
+/// KernelTable exists precisely so per-grid-point `powf`/`exp` never
+/// runs in a decision loop; audited log-domain conversions carry a
+/// pragma.
+fn naked_transcendental(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for (i, tok) in t.iter().enumerate().skip(1) {
+        if punct_at(ctx, i - 1, ".")
+            && tok.kind == TokenKind::Ident
+            && TRANSCENDENTALS.contains(&tok.text.as_str())
+            && punct_at(ctx, i + 1, "(")
+        {
+            out.push(raw(
+                tok.line,
+                tok.col,
+                format!(
+                    "naked `.{}()` in a DP hot-path file; route through the \
+                     KernelTable-backed helpers (or pragma an audited log-domain site)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 6
+
+/// `==`/`!=` with a float literal or `f64::CONST` operand. Identifier-
+/// vs-identifier float compares are invisible to a lexical pass; the
+/// literal form is where every workspace sentinel check lives.
+fn float_eq(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if !(t[i].kind == TokenKind::Punct && (t[i].text == "==" || t[i].text == "!=")) {
+            continue;
+        }
+        let prev_float = i >= 1 && t[i - 1].kind == TokenKind::Float;
+        let next_float = t.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float)
+            || (t.get(i + 1).is_some_and(|n| n.kind == TokenKind::Punct && n.text == "-")
+                && t.get(i + 2).is_some_and(|n| n.kind == TokenKind::Float));
+        let next_f64_const = ident_at(ctx, i + 1, "f64") && punct_at(ctx, i + 2, "::");
+        let prev_f64_const = i >= 3
+            && t[i - 1].kind == TokenKind::Ident
+            && punct_at(ctx, i - 2, "::")
+            && ident_at(ctx, i - 3, "f64");
+        if prev_float || next_float || next_f64_const || prev_f64_const {
+            out.push(raw(
+                t[i].line,
+                t[i].col,
+                format!(
+                    "`{}` against a float constant assumes exact bits; compare with a \
+                     tolerance, or pragma a deliberate sentinel check",
+                    t[i].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 7
+
+/// One finding per audited kernel function that contains panicking `[]`
+/// index/slice expressions. The pragma above the `fn` re-affirms the
+/// bounds audit; any edit that drops the pragma re-raises the finding.
+fn panicking_index_in_kernel(ctx: &FileCtx<'_>, rc: &RuleConfig) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len().saturating_sub(1) {
+        if !(ident_at(ctx, i, "fn")
+            && t[i + 1].kind == TokenKind::Ident
+            && rc.functions.iter().any(|f| f == &t[i + 1].text))
+        {
+            continue;
+        }
+        let Some(open) = (i + 2..t.len()).find(|&k| t[k].text == "{") else { continue };
+        let Some(close) = matching_brace(t, open) else { continue };
+        let mut sites = 0usize;
+        let mut last_line = 0u32;
+        for k in open + 1..close {
+            let postfix = punct_at(ctx, k, "[")
+                && (t[k - 1].kind == TokenKind::Ident
+                    || t[k - 1].text == "]"
+                    || t[k - 1].text == ")");
+            if postfix && t[k].line != last_line {
+                sites += 1;
+                last_line = t[k].line;
+            }
+        }
+        if sites > 0 {
+            out.push(raw(
+                t[i + 1].line,
+                t[i + 1].col,
+                format!(
+                    "audited kernel fn `{}` holds {sites} line(s) of panicking `[]` \
+                     indexing; re-audit bounds and pragma the fn to acknowledge",
+                    t[i + 1].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 8
+
+const MARKERS: &[&str] = &["TODO", "FIXME", "XXX", "HACK"];
+
+/// Work markers in comments: fine on a branch, not on main — a marker
+/// in a determinism-critical path is an unfinished audit.
+fn todo_fixme_gate(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for c in ctx.comments {
+        for marker in MARKERS {
+            let mut search = c.text.as_str();
+            let mut found = false;
+            while let Some(pos) = search.find(marker) {
+                let before_ok = pos == 0
+                    || !search.as_bytes()[pos - 1].is_ascii_alphanumeric();
+                let after = pos + marker.len();
+                let after_ok = after >= search.len()
+                    || !search.as_bytes()[after].is_ascii_alphanumeric();
+                if before_ok && after_ok {
+                    found = true;
+                    break;
+                }
+                search = &search[after..];
+            }
+            if found {
+                out.push(raw(
+                    c.start_line,
+                    1,
+                    format!("`{marker}` marker in a committed comment"),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 9
+
+/// Pragmas naming unregistered rules: a typo here would silently keep a
+/// real finding alive (or suppress nothing), so it is its own finding.
+fn unknown_pragma(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for p in &ctx.pragmas {
+        for r in &p.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                out.push(raw(
+                    p.line,
+                    1,
+                    format!("pragma allows unknown rule `{r}` (registered rules: see --list-rules)"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::context::FileCtx;
+    use crate::lexer::lex;
+
+    fn scan_src(rule: &str, src: &str) -> Vec<RawFinding> {
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        let cfg = Config::default_config();
+        scan(rule, &ctx, cfg.rule(rule))
+    }
+
+    #[test]
+    fn par_sum_flagged_sequential_sum_not() {
+        let hits = scan_src("unordered-float-reduce", "let s: f64 = v.par_iter().map(|x| x * 2.0).sum();");
+        assert_eq!(hits.len(), 1);
+        assert!(scan_src("unordered-float-reduce", "let s: f64 = v.iter().sum();").is_empty());
+        // A sum inside the closure argument is not the chain's sink.
+        assert!(scan_src(
+            "unordered-float-reduce",
+            "let v: Vec<f64> = xs.par_iter().map(|r| r.iter().sum::<f64>()).collect();"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_keyed_lookup_not() {
+        let src = "let mut m: HashMap<u32, f64> = HashMap::new();\nfor (k, v) in m.iter() { }\n";
+        assert_eq!(scan_src("nondeterministic-iteration", src).len(), 1);
+        let keyed = "let mut m: HashMap<u32, f64> = HashMap::new();\nm.insert(1, 2.0);\nlet x = m.get(&1);\n";
+        assert!(scan_src("nondeterministic-iteration", keyed).is_empty());
+        let wrapped = "struct S { map: Mutex<HashMap<K, V>> }\nfn f(s: &S) { for k in map { } }\n";
+        assert_eq!(scan_src("nondeterministic-iteration", wrapped).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment() {
+        assert_eq!(scan_src("unsafe-needs-safety-comment", "let x = unsafe { p.read() };").len(), 1);
+        let ok = "// SAFETY: p is valid for reads, checked above.\nlet x = unsafe { p.read() };";
+        assert!(scan_src("unsafe-needs-safety-comment", ok).is_empty());
+    }
+
+    #[test]
+    fn float_eq_literal_and_const_forms() {
+        assert_eq!(scan_src("float-eq", "if x == 0.0 { }").len(), 1);
+        assert_eq!(scan_src("float-eq", "if ls == f64::NEG_INFINITY { }").len(), 1);
+        assert_eq!(scan_src("float-eq", "if 1e-9 != y { }").len(), 1);
+        assert!(scan_src("float-eq", "if a == b { }").is_empty());
+        assert!(scan_src("float-eq", "if n == 0 { }").is_empty());
+    }
+
+    #[test]
+    fn kernel_index_one_finding_per_fn() {
+        let src = "fn solve_with_rows() {\n    let a = tri[i];\n    let b = egrid[j];\n}\nfn other() { let c = v[0]; }\n";
+        let hits = scan_src("panicking-index-in-kernel", src);
+        assert_eq!(hits.len(), 1, "only configured fns audited");
+        assert!(hits[0].message.contains("2 line(s)"));
+    }
+
+    #[test]
+    fn todo_marker_word_boundaries() {
+        assert_eq!(scan_src("todo-fixme-gate", "// TODO: finish\nlet x = 1;").len(), 1);
+        assert!(scan_src("todo-fixme-gate", "// method TODOS are fine as a word? no: TODOS\n").is_empty());
+        assert!(scan_src("todo-fixme-gate", "// hackathon notes\n").is_empty());
+    }
+
+    #[test]
+    fn unknown_pragma_rule_flagged() {
+        assert_eq!(scan_src("unknown-pragma", "// lint: allow(flaot-eq)\nlet x = 1;").len(), 1);
+        assert!(scan_src("unknown-pragma", "// lint: allow(float-eq)\nlet x = 1;").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_transcendental_tokens() {
+        assert_eq!(scan_src("wall-clock-in-sim", "use std::time::Instant;").len(), 1);
+        assert_eq!(scan_src("naked-transcendental-in-hot-path", "let p = s.powf(k);").len(), 1);
+        assert!(scan_src("naked-transcendental-in-hot-path", "let p = kernel.psuc(x, t);").is_empty());
+    }
+}

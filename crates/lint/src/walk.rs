@@ -1,0 +1,88 @@
+//! Workspace file discovery: every `.rs` file under the root, minus the
+//! configured excludes, in sorted order (the linter's own output must be
+//! deterministic, of course).
+
+use crate::config::{path_matches, Config};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All lintable `.rs` files under `root`, as (relative unix path,
+/// absolute path) pairs, sorted by relative path.
+pub fn workspace_files(root: &Path, config: &Config) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') {
+                continue;
+            }
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/"),
+                Err(_) => continue,
+            };
+            if config.exclude.iter().any(|e| path_matches(&rel, e)) {
+                continue;
+            }
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                stack.push(path);
+            } else if ty.is_file() && rel.ends_with(".rs") {
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` holding a
+/// `lint.toml` or a `Cargo.toml` that declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        if let Ok(manifest) = fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_sorted_and_excludes_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let mut config = Config::default_config();
+        config.exclude = vec!["tests/fixtures".into(), "target".into()];
+        let files = workspace_files(root, &config).expect("walk");
+        let rels: Vec<_> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"src/lexer.rs"));
+        assert!(!rels.iter().any(|r| r.starts_with("tests/fixtures/")));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+    }
+
+    #[test]
+    fn find_root_walks_up_to_the_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("root");
+        assert!(root.join("Cargo.toml").is_file());
+        // The workspace root is two levels up from crates/lint.
+        assert_eq!(root, here.parent().and_then(Path::parent).expect("grandparent"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixture-based rule tests: every rule ships a true-positive
+//! (`violation.rs`), a clean file (`clean.rs`), and a pragma-suppressed
+//! file (`suppressed.rs`) under `tests/fixtures/<rule>/`. The fixtures
+//! are inert data — `lint.toml` excludes the tree from workspace runs
+//! and cargo never compiles them — so they can contain deliberate
+//! violations without tripping the real gate.
+
+use ckpt_lint::config::Config;
+use ckpt_lint::lint_source;
+use std::fs;
+use std::path::Path;
+
+/// A workspace-relative virtual path inside each rule's configured
+/// scope, so path-scoped rules actually run over their fixtures.
+fn virtual_path(rule: &str) -> &'static str {
+    match rule {
+        "nondeterministic-iteration" | "wall-clock-in-sim" => "crates/sim/src/fixture.rs",
+        "naked-transcendental-in-hot-path" | "panicking-index-in-kernel" => {
+            "crates/policies/src/dp_next_failure.rs"
+        }
+        "float-eq" => "crates/dist/src/fixture.rs",
+        _ => "crates/exp/src/fixture.rs",
+    }
+}
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn findings_of(rule: &str, which: &str) -> (usize, usize) {
+    let src = fixture(rule, which);
+    let out = lint_source(virtual_path(rule), &src, &Config::default_config());
+    let hits = out.findings.iter().filter(|f| f.rule == rule).count();
+    (hits, out.suppressed)
+}
+
+#[test]
+fn every_rule_has_all_three_fixtures() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in ckpt_lint::rules::ALL_RULES {
+        for which in ["violation", "clean", "suppressed"] {
+            let path = root.join(rule).join(format!("{which}.rs"));
+            assert!(path.is_file(), "missing fixture {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn violations_fire_cleans_do_not_pragmas_suppress() {
+    for rule in ckpt_lint::rules::ALL_RULES {
+        let (hits, _) = findings_of(rule, "violation");
+        assert!(hits >= 1, "{rule}: violation fixture raised no finding");
+
+        let (hits, _) = findings_of(rule, "clean");
+        assert_eq!(hits, 0, "{rule}: clean fixture raised {hits} finding(s)");
+
+        let (hits, suppressed) = findings_of(rule, "suppressed");
+        assert_eq!(hits, 0, "{rule}: pragma failed to suppress {hits} finding(s)");
+        assert!(suppressed >= 1, "{rule}: nothing was actually suppressed");
+    }
+}
+
+#[test]
+fn finding_positions_are_exact() {
+    // Spot-check one rule's line:col anchoring end to end.
+    let src = fixture("float-eq", "violation");
+    let out = lint_source(virtual_path("float-eq"), &src, &Config::default_config());
+    let eqs: Vec<_> = out.findings.iter().filter(|f| f.rule == "float-eq").collect();
+    assert_eq!(eqs.len(), 2, "both compares on the `||` line flagged");
+    assert_eq!(eqs[0].line, eqs[1].line);
+    assert!(eqs[0].col < eqs[1].col);
+    assert!(eqs[0].snippet.contains("x == 0.0"));
+}

@@ -1,0 +1,4 @@
+// Fixture: tolerance compare, and integer equality is not a float eq.
+pub fn check(x: f64, y: f64, n: usize) -> bool {
+    (x - y).abs() < 1e-12 && n == 0
+}

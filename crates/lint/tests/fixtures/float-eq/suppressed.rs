@@ -1,0 +1,7 @@
+// Fixture: a deliberate exact-zero sentinel, pragma'd with the reason.
+pub fn loss(x: f64) -> f64 {
+    if x == 0.0 { // lint: allow(float-eq) — exact zero fast path
+        return 0.0;
+    }
+    x * 0.5
+}

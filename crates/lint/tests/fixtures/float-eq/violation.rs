@@ -1,0 +1,4 @@
+// Fixture: exact float compares against a literal and an f64 constant.
+pub fn check(x: f64, ls: f64) -> bool {
+    x == 0.0 || ls != f64::NEG_INFINITY
+}

@@ -1,0 +1,4 @@
+// Fixture: the tabulated kernel helpers are the sanctioned path.
+pub fn cell(kernel: &KernelTable, x: usize, t: usize) -> f64 {
+    kernel.psuc(x, t) * kernel.esuc(x, t)
+}

@@ -1,0 +1,4 @@
+// Fixture: audited log-domain conversion, pragma'd.
+pub fn back_to_linear(lp: f64) -> f64 {
+    lp.exp() // lint: allow(naked-transcendental-in-hot-path) — audited conversion
+}

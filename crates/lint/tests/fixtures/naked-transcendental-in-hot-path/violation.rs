@@ -1,0 +1,5 @@
+// Fixture: per-grid-point powf/exp in a DP hot-path file, bypassing the
+// KernelTable tabulation.
+pub fn cell(s: f64, k: f64, lp: f64) -> f64 {
+    s.powf(k) + lp.exp()
+}

@@ -1,0 +1,6 @@
+// Fixture: keyed lookups on a hash container never observe its order.
+pub fn keyed() -> Option<f64> {
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    m.insert(1, 2.0);
+    m.get(&1).copied()
+}

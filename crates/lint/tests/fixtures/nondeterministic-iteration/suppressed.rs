@@ -1,0 +1,8 @@
+// Fixture: iteration whose result is order-insensitive, acknowledged.
+pub fn count(m: &HashMap<u32, f64>) -> usize {
+    let mut n = 0;
+    for _ in m.iter() { // lint: allow(nondeterministic-iteration) — count only
+        n += 1;
+    }
+    n
+}

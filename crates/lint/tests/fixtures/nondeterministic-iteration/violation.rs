@@ -1,0 +1,10 @@
+// Fixture: iterating a HashMap feeds seeded hash order into results.
+pub fn dump(m2: HashMap<u32, f64>) -> Vec<f64> {
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() {
+        out.push(*v);
+    }
+    for _x in m2 {}
+    out
+}

@@ -1,0 +1,9 @@
+// Fixture: the audited fn indexes nothing; a non-audited fn may index
+// freely without a pragma.
+fn solve_with_rows(tri: &[f64]) -> f64 {
+    tri.iter().copied().fold(0.0, f64::max)
+}
+
+fn helper(v: &[f64], i: usize) -> f64 {
+    v[i]
+}

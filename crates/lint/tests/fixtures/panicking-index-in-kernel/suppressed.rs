@@ -1,0 +1,5 @@
+// Fixture: the fn-level pragma re-affirms the bounds audit.
+// lint: allow(panicking-index-in-kernel) — indices affine in slice len, audited
+fn solve_with_rows(tri: &[f64], i: usize) -> f64 {
+    tri[i]
+}

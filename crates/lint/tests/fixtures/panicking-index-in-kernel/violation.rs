@@ -1,0 +1,6 @@
+// Fixture: an audited kernel fn using panicking `[]` with no pragma.
+fn solve_with_rows(tri: &[f64], egrid: &mut [f64], i: usize, j: usize) -> f64 {
+    let a = tri[i];
+    egrid[j] = a;
+    a
+}

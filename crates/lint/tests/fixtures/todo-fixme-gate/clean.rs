@@ -1,0 +1,5 @@
+// Fixture: ordinary prose; substrings inside words are not markers.
+// The hackathon notes mention TODOS as a plural word, which is fine.
+pub fn finished() -> f64 {
+    1.0
+}

@@ -1,0 +1,5 @@
+// lint: allow(todo-fixme-gate) — fixture keeps a deliberate marker
+// TODO: suppressed by the pragma directly above.
+pub fn marked() -> f64 {
+    0.0
+}

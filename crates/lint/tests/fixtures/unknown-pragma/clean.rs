@@ -1,0 +1,4 @@
+// Fixture: a correctly spelled pragma raises nothing.
+pub fn guarded(x: f64) -> bool {
+    x == 0.5 // lint: allow(float-eq) — exact sentinel
+}

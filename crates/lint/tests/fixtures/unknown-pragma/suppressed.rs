@@ -1,0 +1,6 @@
+// Fixture: documenting a bogus name, acknowledged one line above it.
+// lint: allow(unknown-pragma) — the next line shows a deliberately bad name
+// lint: allow(not-a-real-rule)
+pub fn documented() -> f64 {
+    1.0
+}

@@ -1,0 +1,4 @@
+// Fixture: a typo'd rule name must be its own finding, never silence.
+pub fn guarded(x: f64) -> bool {
+    x > 0.5 // lint: allow(flaot-eq) — typo, flagged
+}

@@ -1,0 +1,9 @@
+// Fixture: sequential reduction and order-preserving parallel collect
+// are both fine.
+pub fn total(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+pub fn doubled(xs: &[Vec<f64>]) -> Vec<f64> {
+    xs.par_iter().map(|r| r.iter().sum::<f64>()).collect()
+}

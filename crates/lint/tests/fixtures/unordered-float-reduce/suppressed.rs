@@ -1,0 +1,5 @@
+// Fixture: pragma-acknowledged parallel reduction (integer counts are
+// order-insensitive; pretend this one was audited).
+pub fn total(v: &[f64]) -> f64 {
+    v.par_iter().map(|x| x * 2.0).sum() // lint: allow(unordered-float-reduce) — fixture audit
+}

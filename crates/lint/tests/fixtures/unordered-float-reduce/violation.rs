@@ -1,0 +1,9 @@
+// Fixture: parallel float reduction in one chain — combine order is
+// whatever the rayon scheduler produced.
+pub fn total(v: &[f64]) -> f64 {
+    v.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn widest(v: &[f64]) -> f64 {
+    v.into_par_iter().reduce(|| 0.0, f64::max)
+}

@@ -1,0 +1,6 @@
+// Fixture: the audit comment sits within the 3 preceding lines.
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: callers guarantee `p` is valid for reads and aligned.
+    let x = unsafe { p.read() };
+    x
+}

@@ -1,0 +1,5 @@
+// Fixture: pragma instead of a SAFETY comment (discouraged but legal).
+pub fn read(p: *const u64) -> u64 {
+    let x = unsafe { p.read() }; // lint: allow(unsafe-needs-safety-comment) — fixture
+    x
+}

@@ -1,0 +1,5 @@
+// Fixture: unsafe with no SAFETY audit anywhere near it.
+pub fn read(p: *const u64) -> u64 {
+    let x = unsafe { p.read() };
+    x
+}

@@ -1,0 +1,4 @@
+// Fixture: simulated time is just f64 hours — no wall-clock anywhere.
+pub fn advance(now: f64, dt: f64) -> f64 {
+    now + dt
+}

@@ -1,0 +1,7 @@
+// Fixture: acknowledged wall-clock use (e.g. a debug-only probe).
+use std::time::Instant; // lint: allow(wall-clock-in-sim) — fixture probe
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now(); // lint: allow(wall-clock-in-sim) — fixture probe
+    t0.elapsed().as_secs_f64()
+}

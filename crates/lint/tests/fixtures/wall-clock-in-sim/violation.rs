@@ -1,0 +1,7 @@
+// Fixture: wall-clock type in a simulation crate.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,37 @@
+//! The gate the scripts rely on: the checked-in workspace lints clean
+//! under the checked-in `lint.toml`. Any new determinism hazard (or a
+//! dropped pragma) fails this test before it ever reaches check.sh.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_lints_clean_under_checked_in_config() {
+    let root = workspace_root();
+    assert!(root.join("lint.toml").is_file(), "lint.toml must be checked in");
+    let config = ckpt_lint::load_config(root).expect("lint.toml parses");
+    let report = ckpt_lint::run_workspace(root, &config).expect("walk workspace");
+
+    assert!(report.files_scanned > 50, "walk found only {} files", report.files_scanned);
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "workspace has deny findings:\n{}",
+        report.render_human()
+    );
+    // The deliberate sentinel/conversion sites stay acknowledged.
+    assert!(report.suppressed >= 20, "expected the audited pragma sites, got {}", report.suppressed);
+
+    // `--json` output stays machine-shaped.
+    let json = report.render_json();
+    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"findings\": []"));
+    assert!(json.contains("\"deny\": 0"));
+}

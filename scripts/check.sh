@@ -6,7 +6,9 @@
 #      bit-identity pin at 1 and 8 rayon threads);
 #   3. clippy with warnings as errors — the lib crates carry
 #      `#![warn(clippy::unwrap_used, clippy::expect_used)]`, so any
-#      unwrap/expect on a library path fails this step.
+#      unwrap/expect on a library path fails this step;
+#   4. ckpt-lint — the workspace determinism & safety lint (rules and
+#      scoping in lint.toml): any deny-level finding exits non-zero.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -20,5 +22,11 @@ cargo test -q
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace -- -D warnings
+
+echo "== ckpt-lint (determinism & safety) =="
+# The lint crate sits outside default-members, so tier-1 build/test
+# above never touch it: run its own suite here, then the workspace pass.
+cargo test -q -p ckpt-lint
+cargo run --release -q -p ckpt-lint
 
 echo "== check.sh: all green =="
