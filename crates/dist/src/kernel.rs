@@ -30,6 +30,10 @@ pub struct KernelTable {
     dist: Box<dyn FailureDistribution>,
     log_surv: UniformTable,
     integral: UniformTable,
+    /// Obs counter label: the wrapped distribution's fingerprint
+    /// (`fp:…`) or `unfingerprinted`. Precomputed so the hot query path
+    /// never formats.
+    obs_label: String,
 }
 
 impl KernelTable {
@@ -49,7 +53,11 @@ impl KernelTable {
             log_surv.values().iter().map(|&g| g.exp()).collect(),
         );
         let integral = UniformTable::cumulative_trapezoid(&surv);
-        Self { dist, log_surv, integral }
+        let obs_label = match dist.fingerprint() {
+            Some(fp) => format!("fp:{fp:016x}"),
+            None => "unfingerprinted".to_string(),
+        };
+        Self { dist, log_surv, integral, obs_label }
     }
 
     /// The wrapped distribution (exact fallback target).
@@ -74,8 +82,22 @@ impl KernelTable {
             return 0.0;
         }
         match self.log_surv.interp_checked(t) {
-            Some(v) => v,
-            None => self.dist.log_survival(t),
+            Some(v) => {
+                if ckpt_obs::active() {
+                    ckpt_obs::counter_add_labeled("kernel_table.interp_hits", &self.obs_label, 1);
+                }
+                v
+            }
+            None => {
+                if ckpt_obs::active() {
+                    ckpt_obs::counter_add_labeled(
+                        "kernel_table.exact_fallbacks",
+                        &self.obs_label,
+                        1,
+                    );
+                }
+                self.dist.log_survival(t)
+            }
         }
     }
 
@@ -104,8 +126,22 @@ impl KernelTable {
     #[inline]
     pub fn hazard(&self, t: f64) -> f64 {
         match self.log_surv.slope_checked(t) {
-            Some(slope) => -slope,
-            None => self.dist.hazard(t),
+            Some(slope) => {
+                if ckpt_obs::active() {
+                    ckpt_obs::counter_add_labeled("kernel_table.interp_hits", &self.obs_label, 1);
+                }
+                -slope
+            }
+            None => {
+                if ckpt_obs::active() {
+                    ckpt_obs::counter_add_labeled(
+                        "kernel_table.exact_fallbacks",
+                        &self.obs_label,
+                        1,
+                    );
+                }
+                self.dist.hazard(t)
+            }
         }
     }
 

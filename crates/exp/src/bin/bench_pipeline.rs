@@ -2,11 +2,19 @@
 //! by `scripts/bench_pipeline.sh` to produce `BENCH_pipeline.json`.
 //!
 //! Usage: `bench_pipeline [--traces N] [--label NAME] [--out PATH]
-//! [--search full|coarse]`
+//! [--search full|coarse] [--trace-out PATH] [--report-out PATH]`
 //!
 //! Runs the full scenario pipeline (trace generation → policy sims →
 //! PeriodLB search → aggregation) once, prints a human summary, and
 //! writes a JSON document with the per-stage timings and counters.
+//!
+//! Built with `--features obs`, the run records into a `ckpt-obs`
+//! session: `--trace-out` then emits a chrome://tracing timeline and
+//! `--report-out` a `perf report`-style text summary, and the binary
+//! *verifies* that the obs span totals agree with the `PipelinePerf`
+//! stage timings within 5% (the two measure the same bracketed regions
+//! through independent code paths). Without the feature those flags are
+//! accepted but skipped.
 
 use ckpt_exp::perf::format_f64;
 use ckpt_exp::policies_spec::PolicyKind;
@@ -30,6 +38,8 @@ fn main() {
     let mut traces = 24usize;
     let mut label = "run".to_string();
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
     let mut search = PeriodSearch::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -42,6 +52,8 @@ fn main() {
             }
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out = Some(args.next().expect("--out PATH")),
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
+            "--report-out" => report_out = Some(args.next().expect("--report-out PATH")),
             "--search" => {
                 search = match args.next().as_deref() {
                     Some("full") => PeriodSearch::Full,
@@ -69,9 +81,17 @@ fn main() {
         options.period_lb.as_ref().map_or(0, Vec::len),
     );
 
+    let session = ckpt_obs::ObsSession::start();
+    if session.is_none() {
+        eprintln!(
+            "bench_pipeline[{label}]: recording off (build with --features obs for \
+             the chrome trace / perf report)"
+        );
+    }
     let t0 = Instant::now();
     let result = run_scenario(&scenario, &kinds, &options);
     let total = t0.elapsed().as_secs_f64();
+    let obs_data = session.map(ckpt_obs::ObsSession::finish);
 
     eprintln!("bench_pipeline[{label}]: total {total:.3}s");
     let perf = &result.perf;
@@ -86,6 +106,39 @@ fn main() {
         perf.decisions,
         perf.failures
     );
+
+    if let Some(data) = &obs_data {
+        // The obs spans and the `PipelinePerf` stage timings bracket the
+        // same regions through independent code paths; if they disagree
+        // beyond tolerance, one of the two is lying — fail the bench.
+        for st in &perf.stages {
+            let span_s = data.span_total_seconds(&format!("stage.{}", st.name));
+            // 5%, with a small absolute floor so microsecond-scale
+            // stages don't trip on scheduling noise.
+            let tol = (0.05 * st.seconds).max(0.005);
+            let diff = (span_s - st.seconds).abs();
+            eprintln!(
+                "  agree {:<14} span {:>9.3}s vs perf {:>9.3}s  (|Δ| {:.4}s)",
+                st.name, span_s, st.seconds, diff
+            );
+            assert!(
+                diff <= tol,
+                "stage {} disagrees: obs span total {span_s:.4}s vs perf {:.4}s (tol {tol:.4}s)",
+                st.name,
+                st.seconds
+            );
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, data.chrome_trace_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench_pipeline[{label}]: wrote chrome trace {path}");
+        }
+        if let Some(path) = &report_out {
+            std::fs::write(path, data.perf_report())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench_pipeline[{label}]: wrote perf report {path}");
+        }
+    }
 
     // JSON document: run metadata + measured pipeline perf.
     let mut doc = String::from("{\n");

@@ -70,13 +70,20 @@ impl TraceCache {
             index: index as u64,
         };
         if let Some(hit) = self.map.lock().get(&key) {
+            ckpt_obs::counter_add("trace_cache.hits", 1);
             return Arc::clone(hit);
         }
+        ckpt_obs::counter_add("trace_cache.misses", 1);
         // Generate outside the lock: generation is deterministic, so a
         // racing thread computing the same key produces the same value
         // and first-insert-wins keeps sharing maximal.
+        let mut span = ckpt_obs::task_span("trace.generate", index as u64);
+        if ckpt_obs::active() {
+            span.label("cell", scenario.label.clone());
+        }
         let traces = Arc::new(scenario.generate_traces(built, index));
         let events = Arc::new(traces.platform_events());
+        drop(span);
         let entry = Arc::new(CachedTrace { traces, events });
         let mut map = self.map.lock();
         Arc::clone(map.entry(key).or_insert(entry))

@@ -134,11 +134,13 @@ pub fn execute(
 
     // Stage 1: trace generation (process-wide cache, shared via Arc).
     let t_stage = Instant::now();
+    let stage_span = ckpt_obs::span("stage.trace_gen");
     let cache = TraceCache::global();
     let cached: Vec<Arc<CachedTrace>> = (0..sim_plan.traces)
         .into_par_iter()
         .map(|idx| cache.get_or_generate(scenario, built, idx))
         .collect();
+    drop(stage_span);
     perf.push_stage("trace_gen", t_stage, sim_plan.traces as u64);
 
     // Instantiate the roster once through the registry; sessions are
@@ -155,6 +157,7 @@ pub fn execute(
     // kernel-row caches are snapshotted around the wave so the perf
     // report attributes exactly this run's hits/misses/evictions.
     let t_stage = Instant::now();
+    let stage_span = ckpt_obs::span("stage.policy_sims");
     let caches_before = ckpt_policies::DpCaches::global().stats();
     let heavy_kind = |k: &crate::policies_spec::PolicyKind| {
         matches!(
@@ -168,9 +171,21 @@ pub fn execute(
         SimTask::Policy { policy, .. } => heavy_kind(&sim_plan.kinds[*policy]),
         _ => false,
     };
+    ckpt_obs::gauge_max("wave.roster_tasks", tasks.len() as u64);
     let outputs = drain_wave_heavy_first(&tasks, is_heavy, |task| match task {
         SimTask::Policy { policy, trace } => match &policies[policy] {
             Ok(p) => {
+                // Task id = plan position: deterministic, so the merged
+                // span order is identical at any thread count.
+                let mut span = ckpt_obs::task_span(
+                    "task.policy_sim",
+                    (policy * sim_plan.traces + trace) as u64,
+                );
+                if ckpt_obs::active() {
+                    span.label("policy", p.name().to_string());
+                    span.label("dist", scenario.label.clone());
+                    span.label("p", scenario.procs.to_string());
+                }
                 let st = simulate_on(&spec, p.as_ref(), &cached[trace], sim_plan.sim);
                 RosterOutput::Policy {
                     cell: Some(PolicyCell {
@@ -185,9 +200,15 @@ pub fn execute(
             }
             Err(_) => RosterOutput::Policy { cell: None, decisions: 0, failures: 0 },
         },
-        SimTask::LowerBound { trace } => RosterOutput::LowerBound {
-            makespan: lower_bound_makespan(&spec, &cached[trace].traces).makespan,
-        },
+        SimTask::LowerBound { trace } => {
+            let _span = ckpt_obs::task_span(
+                "task.lower_bound",
+                (sim_plan.kinds.len() * sim_plan.traces + trace) as u64,
+            );
+            RosterOutput::LowerBound {
+                makespan: lower_bound_makespan(&spec, &cached[trace].traces).makespan,
+            }
+        }
         SimTask::Candidate { .. } => {
             unreachable!("candidate tasks are drained in the search waves")
         }
@@ -217,11 +238,14 @@ pub fn execute(
     perf.policy_sims = ran_policies * sim_plan.traces as u64;
     perf.plan_cache =
         ckpt_policies::DpCaches::global().stats().delta_since(&caches_before).into();
+    drop(stage_span);
     perf.push_stage("policy_sims", t_stage, perf.policy_sims);
 
     // Stage 3: PeriodLB candidate waves (coarse, then refine).
     let t_stage = Instant::now();
+    let stage_span = ckpt_obs::span("stage.period_search");
     let search = search_candidates(&spec, built, sim_plan, &cached, perf);
+    drop(stage_span);
     perf.push_stage("period_search", t_stage, perf.candidate_sims);
 
     ExecOutput {
@@ -250,18 +274,31 @@ fn search_candidates(
     // columns[candidate] = (per-trace makespans, mean).
     let mut columns: Vec<Option<(Vec<f64>, f64)>> = vec![None; sim_plan.grid.len()];
 
-    let mut evaluate_wave = |indices: &[usize], columns: &mut Vec<Option<(Vec<f64>, f64)>>| {
+    let mut evaluate_wave = |wave: &'static str,
+                             indices: &[usize],
+                             columns: &mut Vec<Option<(Vec<f64>, f64)>>| {
         let fresh: Vec<usize> =
             indices.iter().copied().filter(|&i| columns[i].is_none()).collect();
         let tasks = sim_plan.candidate_wave(&fresh);
+        ckpt_obs::gauge_max("wave.candidate_tasks", tasks.len() as u64);
         let outputs = drain_wave(&tasks, |task| {
             let SimTask::Candidate { candidate, trace } = task else {
                 unreachable!("candidate waves contain only candidate tasks")
             };
+            // Candidate ids live above the roster wave's id range.
+            let mut span = ckpt_obs::task_span(
+                "task.candidate_sim",
+                ((sim_plan.kinds.len() + 1 + candidate) * sim_plan.traces + trace) as u64,
+            );
+            if ckpt_obs::active() {
+                span.label("wave", wave);
+                span.label("factor", format!("{}", sim_plan.grid[candidate]));
+            }
             let policy = base.as_fixed_period().scaled(sim_plan.grid[candidate]);
             let st = simulate_on(spec, &policy, &cached[trace], sim_plan.sim);
             (st.makespan, st.decisions, st.failures)
         });
+        ckpt_obs::counter_add_labeled("period_search.candidate_sims", wave, tasks.len() as u64);
         perf.candidate_sims += tasks.len() as u64;
         for (task, (makespan, decisions, failures)) in tasks.iter().zip(&outputs) {
             let SimTask::Candidate { candidate, trace } = task else {
@@ -283,13 +320,13 @@ fn search_candidates(
         }
     };
 
-    evaluate_wave(&sim_plan.coarse, &mut columns);
+    evaluate_wave("coarse", &sim_plan.coarse, &mut columns);
     if sim_plan.refine_step.is_some() {
         let means: Vec<Option<f64>> =
             columns.iter().map(|c| c.as_ref().map(|(_, m)| *m)).collect();
         if let Some(incumbent) = plan::winner(&means) {
             let window: Vec<usize> = sim_plan.refine_window(incumbent).collect();
-            evaluate_wave(&window, &mut columns);
+            evaluate_wave("refine", &window, &mut columns);
         }
     }
 

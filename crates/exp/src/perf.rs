@@ -55,6 +55,62 @@ impl From<ckpt_policies::DpCacheStats> for PlanCachePerf {
     }
 }
 
+/// Deterministic counters harvested from the `ckpt-obs` registry over
+/// one `run_scenario` call — the richer breakdown `BENCH_pipeline.json`
+/// gains when a recording session is open. Every field is a counter
+/// delta, so the values are reproducible run to run (unlike the
+/// wall-clock stage seconds).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ObsPerf {
+    /// Cold `DPNextFailure` solves (plan-cache misses that ran the DP).
+    pub dp_solves: u64,
+    /// Near-age kernel rows accumulated across solves.
+    pub dp_near_row_sweeps: u64,
+    /// Solves that folded far ages into a Chebyshev interpolant.
+    pub dp_far_fits: u64,
+    /// Hull lines pushed across all DP inner loops.
+    pub dp_hull_lines: u64,
+    /// Monotone hull pointer advances (the amortised-O(1) query walk).
+    pub dp_hull_advances: u64,
+    /// States that fell back to the exact log-domain loop (underflow).
+    pub dp_log_domain_states: u64,
+    /// Solves that reused a warm per-thread scratch allocation.
+    pub dp_scratch_reuses: u64,
+    /// `KernelTable` queries answered by grid interpolation.
+    pub kernel_interp_hits: u64,
+    /// `KernelTable` queries past the horizon (exact fallback).
+    pub kernel_exact_fallbacks: u64,
+    /// Trace sets served from the process-wide cache.
+    pub trace_cache_hits: u64,
+    /// Trace sets generated on a cache miss.
+    pub trace_cache_misses: u64,
+    /// Engine runs completed.
+    pub sim_runs: u64,
+    /// Decision points across all engine runs.
+    pub sim_decisions: u64,
+}
+
+impl ObsPerf {
+    /// Harvest from a counter delta (see `ckpt_obs::counters_snapshot`).
+    pub fn from_counters(c: &ckpt_obs::CounterSnapshot) -> Self {
+        Self {
+            dp_solves: c.total("dp.solves"),
+            dp_near_row_sweeps: c.total("dp.near_row_sweeps"),
+            dp_far_fits: c.total("dp.far_fits"),
+            dp_hull_lines: c.total("dp.hull_lines"),
+            dp_hull_advances: c.total("dp.hull_advances"),
+            dp_log_domain_states: c.total("dp.log_domain_states"),
+            dp_scratch_reuses: c.total("dp.scratch_reuses"),
+            kernel_interp_hits: c.total("kernel_table.interp_hits"),
+            kernel_exact_fallbacks: c.total("kernel_table.exact_fallbacks"),
+            trace_cache_hits: c.total("trace_cache.hits"),
+            trace_cache_misses: c.total("trace_cache.misses"),
+            sim_runs: c.total("sim.runs"),
+            sim_decisions: c.total("sim.decisions"),
+        }
+    }
+}
+
 /// Instrumentation for one `run_scenario` call.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct PipelinePerf {
@@ -76,6 +132,12 @@ pub struct PipelinePerf {
     /// Shared DP cache counters accumulated over the `policy_sims` stage
     /// (the executor snapshots the global caches around the wave).
     pub plan_cache: PlanCachePerf,
+    /// Obs-registry counter deltas for this run. Present only while a
+    /// `ckpt-obs` session records; `None` is omitted from the JSON, so
+    /// the emitted bytes without a session are identical to the
+    /// pre-observability format (the byte-compat test relies on this
+    /// being the last field).
+    pub obs: Option<ObsPerf>,
 }
 
 impl PipelinePerf {
@@ -94,75 +156,20 @@ impl PipelinePerf {
     }
 
     /// The JSON object body (no surrounding document) for this run.
+    ///
+    /// This is serde-derived field order; the vendored `serde_json`
+    /// writer reproduces the original hand-rolled emitter byte for byte
+    /// (`", "`/`": "` separators, `format_f64` floats, `None` fields
+    /// omitted), which the `json_byte_compat_with_legacy_emitter` test
+    /// pins.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        push_kv(&mut s, "total_seconds", &format_f64(self.total_seconds));
-        s.push_str(", \"stages\": [");
-        for (i, st) in self.stages.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            s.push('{');
-            push_kv(&mut s, "name", &format!("\"{}\"", serde_json::escape_str(&st.name)));
-            s.push_str(", ");
-            push_kv(&mut s, "seconds", &format_f64(st.seconds));
-            s.push_str(", ");
-            push_kv(&mut s, "items", &st.items.to_string());
-            s.push('}');
-        }
-        s.push_str("], ");
-        push_kv(&mut s, "policy_sims", &self.policy_sims.to_string());
-        s.push_str(", ");
-        push_kv(&mut s, "candidate_sims", &self.candidate_sims.to_string());
-        s.push_str(", ");
-        push_kv(&mut s, "candidate_grid_size", &self.candidate_grid_size.to_string());
-        s.push_str(", ");
-        push_kv(&mut s, "decisions", &self.decisions.to_string());
-        s.push_str(", ");
-        push_kv(&mut s, "failures", &self.failures.to_string());
-        s.push_str(", \"plan_cache\": {");
-        push_cache(&mut s, "plans", &self.plan_cache.plans);
-        s.push_str(", ");
-        push_cache(&mut s, "kernel_rows", &self.plan_cache.kernel_rows);
-        s.push_str("}}");
-        s
+        serde_json::to_string(self)
     }
 }
 
-fn push_cache(buf: &mut String, key: &str, c: &CachePerf) {
-    buf.push('"');
-    buf.push_str(key);
-    buf.push_str("\": {");
-    push_kv(buf, "hits", &c.hits.to_string());
-    buf.push_str(", ");
-    push_kv(buf, "misses", &c.misses.to_string());
-    buf.push_str(", ");
-    push_kv(buf, "evictions", &c.evictions.to_string());
-    buf.push_str(", ");
-    push_kv(buf, "entries", &c.entries.to_string());
-    buf.push('}');
-}
-
-fn push_kv(buf: &mut String, key: &str, value: &str) {
-    buf.push('"');
-    buf.push_str(key);
-    buf.push_str("\": ");
-    buf.push_str(value);
-}
-
-/// JSON-safe float formatting (finite shortest-roundtrip; JSON has no
-/// Infinity/NaN, map them to null).
-pub fn format_f64(x: f64) -> String {
-    if x.is_finite() {
-        let mut s = format!("{x}");
-        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-            s.push_str(".0");
-        }
-        s
-    } else {
-        "null".to_string()
-    }
-}
+// JSON-safe float formatting lives with the writer now; re-exported so
+// the goldens and the bench binary keep one shared float format.
+pub use serde_json::format_f64;
 
 #[cfg(test)]
 mod tests {
@@ -193,6 +200,52 @@ mod tests {
         assert_eq!(format_f64(2.0), "2.0");
         assert_eq!(format_f64(f64::INFINITY), "null");
         assert_eq!(format_f64(0.25), "0.25");
+    }
+
+    /// The serde path must reproduce the retired hand-rolled emitter
+    /// byte for byte, so historical `BENCH_pipeline.json` diffs stay
+    /// clean. The expected string below is the old emitter's exact
+    /// output for this struct.
+    #[test]
+    fn json_byte_compat_with_legacy_emitter() {
+        let mut p = PipelinePerf {
+            total_seconds: 1.5,
+            policy_sims: 42,
+            candidate_sims: 7,
+            candidate_grid_size: 220,
+            decisions: 9001,
+            failures: 13,
+            ..Default::default()
+        };
+        p.stages.push(StagePerf { name: "trace_gen".into(), seconds: 0.25, items: 6 });
+        p.stages.push(StagePerf { name: "policy_sims".into(), seconds: 1.0, items: 42 });
+        p.plan_cache.plans = CachePerf { hits: 7, misses: 2, evictions: 1, entries: 4 };
+        p.plan_cache.kernel_rows = CachePerf { hits: 100, misses: 3, evictions: 0, entries: 3 };
+        assert_eq!(
+            p.to_json(),
+            "{\"total_seconds\": 1.5, \"stages\": [\
+             {\"name\": \"trace_gen\", \"seconds\": 0.25, \"items\": 6}, \
+             {\"name\": \"policy_sims\", \"seconds\": 1.0, \"items\": 42}\
+             ], \"policy_sims\": 42, \"candidate_sims\": 7, \
+             \"candidate_grid_size\": 220, \"decisions\": 9001, \"failures\": 13, \
+             \"plan_cache\": {\
+             \"plans\": {\"hits\": 7, \"misses\": 2, \"evictions\": 1, \"entries\": 4}, \
+             \"kernel_rows\": {\"hits\": 100, \"misses\": 3, \"evictions\": 0, \"entries\": 3}\
+             }}"
+        );
+    }
+
+    /// Non-finite floats must round-trip through the serde path exactly
+    /// as the legacy `format_f64` wrote them: `null`.
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let p = PipelinePerf { total_seconds: f64::NAN, ..Default::default() };
+        assert!(p.to_json().starts_with("{\"total_seconds\": null, "));
+        let p = PipelinePerf { total_seconds: f64::INFINITY, ..Default::default() };
+        assert!(p.to_json().starts_with("{\"total_seconds\": null, "));
+        let p = PipelinePerf { total_seconds: f64::NEG_INFINITY, ..Default::default() };
+        assert!(p.to_json().starts_with("{\"total_seconds\": null, "));
+        assert_eq!(format_f64(f64::NAN), "null");
     }
 
     #[test]

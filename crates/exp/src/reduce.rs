@@ -55,6 +55,7 @@ pub fn reduce(
     perf: &mut PipelinePerf,
 ) -> ScenarioResult {
     let t_stage = Instant::now();
+    let stage_span = ckpt_obs::span("stage.aggregate");
 
     // Per-trace best heuristic (incl. PeriodLB, excl. LowerBound).
     let trace_best: Vec<Option<f64>> = (0..sim_plan.traces)
@@ -128,6 +129,7 @@ pub fn reduce(
             Err(e) => outcomes.push(PolicyOutcome::absent(name, e.to_string())),
         }
     }
+    drop(stage_span);
     perf.push_stage("aggregate", t_stage, outcomes.len() as u64);
 
     ScenarioResult {

@@ -194,11 +194,21 @@ pub fn run_scenario_checked(
     options: &RunnerOptions,
 ) -> Result<ScenarioResult, Error> {
     let t_total = Instant::now();
+    let mut scenario_span = ckpt_obs::span("scenario.run");
+    if ckpt_obs::active() {
+        scenario_span.label("cell", scenario.label.clone());
+    }
+    let obs_before = ckpt_obs::counters_snapshot();
     let mut perf = PipelinePerf::default();
     let built = scenario.dist.try_build()?;
     let sim_plan = crate::plan::plan_scenario(scenario, kinds, options);
     let out = crate::exec::execute(scenario, &built, &sim_plan, &mut perf);
     let mut result = crate::reduce::reduce(scenario, &sim_plan, &out, &mut perf);
+    if ckpt_obs::active() {
+        let delta = ckpt_obs::counters_snapshot().delta_since(&obs_before);
+        perf.obs = Some(crate::perf::ObsPerf::from_counters(&delta));
+    }
+    drop(scenario_span);
     perf.total_seconds = t_total.elapsed().as_secs_f64();
     result.perf = perf;
     Ok(result)

@@ -85,6 +85,37 @@ impl Study {
         run_scenario_checked(scenario, &self.roster_for(scenario), &self.options)
     }
 
+    /// Warm the process-wide caches for `scenarios` before a figure
+    /// sweep: each cell is run once through the pipeline with the
+    /// study's roster but **no** `LowerBound` row and **no** `PeriodLB`
+    /// search, which generates every trace set into
+    /// [`TraceCache`](crate::cache::TraceCache) and populates the shared
+    /// DP plan / kernel-row caches with every key the roster's policy
+    /// simulations will ask for. A subsequent [`Study::run`] /
+    /// [`Study::run_all`] over the same cells then replays the exact
+    /// same lookups, so its plan-cache and trace-cache hit rate is
+    /// ~100% — observable through the `plan_cache.*` / `trace_cache.*`
+    /// obs counters when a `ckpt-obs` session records the sweep.
+    ///
+    /// Warming cannot change results: caches are keyed by the exact
+    /// quantised state and only ever serve the pure function of the key
+    /// (see `crates/sim/tests/cache_equivalence.rs`).
+    ///
+    /// Results are discarded; one `Result` per cell reports scenario-
+    /// level failures (same contract as [`Study::run_all`]).
+    pub fn prewarm(&self, scenarios: &[Scenario]) -> Vec<Result<(), Error>> {
+        let options = RunnerOptions {
+            lower_bound: false,
+            period_lb: None,
+            period_search: self.options.period_search,
+            sim: self.options.sim,
+        };
+        scenarios
+            .iter()
+            .map(|sc| run_scenario_checked(sc, &self.roster_for(sc), &options).map(|_| ()))
+            .collect()
+    }
+
     /// Run every scenario, one result per cell in input order. Failures
     /// are per-cell values: a malformed cell yields its `Err` without
     /// aborting the rest of the batch.
@@ -146,6 +177,37 @@ mod tests {
             batch[0].as_ref().expect("runs").get("Young").unwrap().mean_makespan,
             single.get("Young").unwrap().mean_makespan
         );
+    }
+
+    #[test]
+    fn prewarm_runs_cells_and_preserves_results() {
+        use crate::policies_spec::PolicyKind;
+        let mut cell = tiny(6.0 * 3_600.0);
+        cell.label = "study-prewarm-cell".into();
+        let study = Study::new()
+            .with_kinds([PolicyKind::DpNextFailure(Default::default()), PolicyKind::Young])
+            .with_options(fast_options());
+
+        let warmed = study.prewarm(std::slice::from_ref(&cell));
+        assert_eq!(warmed.len(), 1);
+        warmed[0].as_ref().expect("well-formed cell prewarms");
+
+        // The warm run must serve the DP policy from the shared caches
+        // (flow counters are global and monotonic, so a positive delta
+        // is attributable even with tests running in parallel) ...
+        let before = ckpt_policies::DpCaches::global().stats();
+        let hot = study.run(&cell).expect("runs");
+        let delta = ckpt_policies::DpCaches::global().stats().delta_since(&before);
+        assert!(delta.plans.hits > 0, "prewarmed run must hit the shared plan cache");
+
+        // ... and warming must not perturb results: a repeat run is
+        // bit-identical.
+        let again = study.run(&cell).expect("runs");
+        for (a, b) in hot.outcomes.iter().zip(&again.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
+            assert_eq!(a.avg_degradation, b.avg_degradation, "{}", a.name);
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub fn default_rule_config(rule: &str) -> RuleConfig {
                 "crates/sim/src".into(),
                 "crates/policies/src".into(),
                 "crates/dist/src".into(),
+                "crates/obs/src".into(),
             ];
+            // The observability crate's single sanctioned clock site.
+            rc.allow_paths = vec!["crates/obs/src/clock.rs".into()];
         }
         "naked-transcendental-in-hot-path" => {
             rc.paths = vec![

@@ -65,6 +65,25 @@ fn violations_fire_cleans_do_not_pragmas_suppress() {
 }
 
 #[test]
+fn wall_clock_scoping_allows_only_the_obs_clock_site() {
+    // The observability crate is inside the wall-clock rule's scope,
+    // with exactly one exempt file: the recorder's clock site. The same
+    // source must fire everywhere else under crates/obs/src.
+    let src = fixture("wall-clock-in-sim", "obs_clock");
+    let cfg = Config::default_config();
+    let hits = |path: &str| {
+        lint_source(path, &src, &cfg)
+            .findings
+            .iter()
+            .filter(|f| f.rule == "wall-clock-in-sim")
+            .count()
+    };
+    assert_eq!(hits("crates/obs/src/clock.rs"), 0, "the sanctioned clock site is exempt");
+    assert!(hits("crates/obs/src/shard.rs") >= 1, "any other obs path stays denied");
+    assert!(hits("crates/obs/src/lib.rs") >= 1);
+}
+
+#[test]
 fn finding_positions_are_exact() {
     // Spot-check one rule's line:col anchoring end to end.
     let src = fixture("float-eq", "violation");

@@ -1,0 +1,8 @@
+// Fixture: the observability recorder's clock read. Legal at exactly
+// one virtual path — crates/obs/src/clock.rs, the single sanctioned
+// wall-clock site — and a violation anywhere else under crates/obs/src.
+use std::time::Instant;
+
+pub fn now_micros(origin: Instant) -> u64 {
+    origin.elapsed().as_micros() as u64
+}

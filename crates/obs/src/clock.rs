@@ -1,0 +1,31 @@
+//! The observability layer's only wall-clock site.
+//!
+//! `ckpt-lint`'s `wall-clock-in-sim` rule denies `Instant`/`SystemTime`
+//! across the sim crates *and* the rest of `crates/obs`; this module is
+//! the single allow-listed exception (`lint.toml`), so every timestamp
+//! the recorder sees provably flows through here. Timestamps are
+//! microseconds since a process-wide origin captured on first use,
+//! which keeps span math in small integers and chrome-trace `ts` fields
+//! compact.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process clock origin (first call wins).
+pub fn now_micros() -> u64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    u64::try_from(origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    #[test]
+    fn monotone_nonnegative() {
+        let a = super::now_micros();
+        let b = super::now_micros();
+        assert!(b >= a);
+    }
+}

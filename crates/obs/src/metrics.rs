@@ -1,0 +1,251 @@
+//! Metric value types: log-scale histograms and counter snapshots.
+//!
+//! Everything here is pure data — no clock, no globals — so it compiles
+//! (and is tested) with or without the `obs` feature.
+
+use std::collections::BTreeMap;
+
+/// Sub-buckets per power of two. Four gives ~19 % wide buckets
+/// (`2^(1/4)` ratio between bounds), plenty for latency work.
+pub const SUBS_PER_OCTAVE: i32 = 4;
+
+/// Bucket index for non-positive values (histograms record durations
+/// and counts; zero shows up for empty work items).
+pub const UNDERFLOW_BUCKET: i32 = i32::MIN;
+
+/// The log-scale bucket index of `v`: `floor(log2(v) · 4)`, so bucket
+/// `b` spans `[2^(b/4), 2^((b+1)/4))`. Non-positive and non-finite-low
+/// values land in [`UNDERFLOW_BUCKET`]; `+∞`/huge values clamp into the
+/// top finite bucket.
+pub fn bucket_of(v: f64) -> i32 {
+    // NaN fails this comparison too, landing in the underflow bucket.
+    if v <= 0.0 || v.is_nan() {
+        return UNDERFLOW_BUCKET;
+    }
+    let b = (v.log2() * f64::from(SUBS_PER_OCTAVE)).floor();
+    // f64 exponents span ±1074·4 in bucket units; anything beyond is ±∞.
+    let mut b = if b >= 8_192.0 {
+        return 8_192;
+    } else if b <= -8_192.0 {
+        return -8_192;
+    } else {
+        b as i32
+    };
+    // log2 rounding can miss a bucket boundary by one ulp; nudge so the
+    // documented half-open ranges `[2^(b/4), 2^((b+1)/4))` hold exactly.
+    if v >= bucket_lo(b + 1) {
+        b += 1;
+    } else if v < bucket_lo(b) {
+        b -= 1;
+    }
+    b
+}
+
+/// Lower bound of bucket `b` (the value that maps exactly onto it).
+pub fn bucket_lo(b: i32) -> f64 {
+    if b == UNDERFLOW_BUCKET {
+        0.0
+    } else {
+        (f64::from(b) / f64::from(SUBS_PER_OCTAVE)).exp2()
+    }
+}
+
+/// A log-scale histogram: sparse bucket counts plus exact count / sum /
+/// min / max of the recorded values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Recorded values per [`bucket_of`] index.
+    pub buckets: BTreeMap<i32, u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`+∞` when empty).
+    pub min: f64,
+    /// Largest recorded value (`-∞` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: f64) {
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in. Bucket-count merging is commutative
+    /// and associative, so the merged result is independent of shard
+    /// order; `sum` is folded shard-by-shard in the caller's
+    /// (deterministic) merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// holding the `⌈q·count⌉`-th value. Within a bucket the true value
+    /// is at most `2^(1/4) ≈ 1.19×` higher.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&b, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_lo(b);
+            }
+        }
+        self.max
+    }
+}
+
+/// A point-in-time view of every counter, keyed by
+/// `(name, label)` — the label is `""` for unlabeled counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSnapshot(pub BTreeMap<(String, String), u64>);
+
+impl CounterSnapshot {
+    /// Sum of `name` across all labels.
+    pub fn total(&self, name: &str) -> u64 {
+        self.0.iter().filter(|((n, _), _)| n == name).map(|(_, v)| v).sum()
+    }
+
+    /// The value of one `(name, label)` cell (0 when absent).
+    pub fn labeled(&self, name: &str, label: &str) -> u64 {
+        self.0.get(&(name.to_string(), label.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Per-cell increase since `before` (cells only ever grow within a
+    /// session; saturating guards a snapshot race at session edges).
+    pub fn delta_since(&self, before: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.0 {
+            let b = before.0.get(k).copied().unwrap_or(0);
+            if v.saturating_sub(b) > 0 {
+                out.insert(k.clone(), v - b);
+            }
+        }
+        CounterSnapshot(out)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_quarter_octaves() {
+        // 2^(b/4) boundaries: 1.0 is the exact lower bound of bucket 0.
+        assert_eq!(bucket_of(1.0), 0);
+        assert_eq!(bucket_of(2.0), SUBS_PER_OCTAVE);
+        assert_eq!(bucket_of(4.0), 2 * SUBS_PER_OCTAVE);
+        assert_eq!(bucket_of(0.5), -SUBS_PER_OCTAVE);
+        // Just below a boundary stays in the lower bucket.
+        assert_eq!(bucket_of(1.999_999), SUBS_PER_OCTAVE - 1);
+        // Within (1, 2^(1/4)) everything shares bucket 0.
+        assert_eq!(bucket_of(1.18), 0);
+        assert_eq!(bucket_of(1.19), 1); // 2^(1/4) ≈ 1.1892
+    }
+
+    #[test]
+    fn degenerate_values_have_homes() {
+        assert_eq!(bucket_of(0.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(-3.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::INFINITY), 8_192);
+        assert_eq!(bucket_of(f64::MIN_POSITIVE), bucket_of(f64::MIN_POSITIVE));
+        assert!(bucket_of(1e300) < 8_192);
+    }
+
+    #[test]
+    fn bucket_lo_inverts_bucket_of_on_boundaries() {
+        for b in [-12, -4, 0, 1, 4, 9, 40] {
+            let lo = bucket_lo(b);
+            assert_eq!(bucket_of(lo), b, "2^({b}/4) must map onto bucket {b}");
+        }
+        assert_eq!(bucket_lo(UNDERFLOW_BUCKET), 0.0);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 1.5, 3.0] {
+            a.record(v);
+        }
+        for v in [0.25, 100.0] {
+            b.record(v);
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.min, 0.25);
+        assert_eq!(merged.max, 100.0);
+        assert!((merged.sum - 105.75).abs() < 1e-12);
+        // Merge in the opposite order: identical (commutative counts).
+        let mut swapped = Histogram::new();
+        swapped.merge(&b);
+        swapped.merge(&a);
+        assert_eq!(merged, swapped);
+    }
+
+    #[test]
+    fn quantiles_bound_from_below() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 <= 50.0 && p50 > 50.0 / 1.2, "p50 ≈ {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 99.0 && p99 > 99.0 / 1.2, "p99 ≈ {p99}");
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9));
+    }
+
+    #[test]
+    fn counter_snapshot_totals_and_deltas() {
+        let mut before = CounterSnapshot::default();
+        before.0.insert(("hits".into(), "w07".into()), 10);
+        let mut after = before.clone();
+        after.0.insert(("hits".into(), "w07".into()), 25);
+        after.0.insert(("hits".into(), "exp".into()), 5);
+        after.0.insert(("misses".into(), String::new()), 3);
+        assert_eq!(after.total("hits"), 30);
+        assert_eq!(after.labeled("hits", "w07"), 25);
+        let d = after.delta_since(&before);
+        assert_eq!(d.total("hits"), 20);
+        assert_eq!(d.labeled("hits", "exp"), 5);
+        assert_eq!(d.total("misses"), 3);
+    }
+}

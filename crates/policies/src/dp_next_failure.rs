@@ -654,6 +654,13 @@ fn solve_with_rows(
     SOLVE_SCRATCH.with(|cell| {
     let mut scratch = cell.borrow_mut();
     let SolveScratch { tri, egrid, value, choice, hull } = &mut *scratch;
+    // Solver-internals telemetry: plain locals on the solve path (flushed
+    // once per solve, only while an obs session records), so the float
+    // work and its ordering are untouched.
+    let scratch_reused = tri.capacity() >= triangle_len(x_max);
+    let mut hull_lines: u64 = 0;
+    let mut hull_advances: u64 = 0;
+    let mut log_domain_states: u64 = 0;
     tri.clear();
     tri.resize(triangle_len(x_max), 0.0);
     if let Some(fit) = &far {
@@ -801,6 +808,7 @@ fn solve_with_rows(
                 }
             }
             if push {
+                hull_lines += 1;
                 // Pop lines that never win once the new one exists: with
                 // A below B on the stack and C new, B is useless when C
                 // overtakes B no later than B overtakes A.
@@ -831,6 +839,7 @@ fn solve_with_rows(
                     let (r1, q1, _) = hull[best + 1];
                     if q1 + r1 * z > q0 + r0 * z {
                         best += 1;
+                        hull_advances += 1;
                     } else {
                         break;
                     }
@@ -841,6 +850,7 @@ fn solve_with_rows(
             } else {
                 // exp(G(a, n)) underflowed (survival below ~1e-324):
                 // fall back to the exact log-domain ratio form.
+                log_domain_states += 1;
                 let base = gg(a, n);
                 let mut best = f64::NEG_INFINITY;
                 let mut best_i = x as u32;
@@ -870,6 +880,17 @@ fn solve_with_rows(
         chunks.push(i as f64 * u);
         x -= i;
         n += 1;
+    }
+    if ckpt_obs::active() {
+        ckpt_obs::counter_add("dp.solves", 1);
+        ckpt_obs::counter_add("dp.near_row_sweeps", near.len() as u64);
+        ckpt_obs::counter_add("dp.far_fits", u64::from(far.is_some()));
+        ckpt_obs::counter_add("dp.hull_lines", hull_lines);
+        ckpt_obs::counter_add("dp.hull_advances", hull_advances);
+        ckpt_obs::counter_add("dp.log_domain_states", log_domain_states);
+        ckpt_obs::counter_add("dp.scratch_reuses", u64::from(scratch_reused));
+        ckpt_obs::histogram_record("dp.x_max", x_max as f64);
+        ckpt_obs::histogram_record("dp.plan_chunks", chunks.len() as f64);
     }
     chunks
     })

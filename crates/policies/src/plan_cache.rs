@@ -61,6 +61,15 @@ impl DistId {
             None => DistId::Instance(NEXT_INSTANCE.fetch_add(1, Relaxed)),
         }
     }
+
+    /// Stable observability label: the fingerprint in hex for shared
+    /// identities (`fp:…`), the instance id for private ones (`inst:…`).
+    pub fn obs_label(&self) -> String {
+        match self {
+            DistId::Shared(fp) => format!("fp:{fp:016x}"),
+            DistId::Instance(id) => format!("inst:{id}"),
+        }
+    }
 }
 
 /// Cache key of one memoised DP plan (see
@@ -138,6 +147,17 @@ struct Shard<K, V> {
     order: VecDeque<K>,
 }
 
+/// Observability hookup of one [`ShardedCache`]: counter names plus a
+/// key → label projection (the DP caches label by distribution
+/// fingerprint). Only consulted while an obs session is recording, so
+/// unwired caches and disabled builds pay nothing.
+struct CacheObs<K> {
+    hit: &'static str,
+    miss: &'static str,
+    evict: &'static str,
+    label: fn(&K) -> String,
+}
+
 /// A concurrent map split into lock-sharded FIFO segments.
 ///
 /// Lookups take one shard read lock; inserts take one shard write lock
@@ -151,6 +171,7 @@ pub struct ShardedCache<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    obs: Option<CacheObs<K>>,
 }
 
 impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
@@ -180,7 +201,24 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Wire the cache into the obs registry: `hit`/`miss`/`evict` are the
+    /// counter names, `label` projects each key onto its counter cell
+    /// (the DP caches use the distribution fingerprint). Counters are
+    /// only emitted while a `ckpt-obs` session records, and never affect
+    /// cache contents.
+    fn with_obs(
+        mut self,
+        hit: &'static str,
+        miss: &'static str,
+        evict: &'static str,
+        label: fn(&K) -> String,
+    ) -> Self {
+        self.obs = Some(CacheObs { hit, miss, evict, label });
+        self
     }
 
     fn shard_of(&self, key: &K) -> &RwLock<Shard<K, V>> {
@@ -195,6 +233,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             Some(_) => self.hits.fetch_add(1, Relaxed),
             None => self.misses.fetch_add(1, Relaxed),
         };
+        if ckpt_obs::active() {
+            if let Some(obs) = &self.obs {
+                let name = if found.is_some() { obs.hit } else { obs.miss };
+                ckpt_obs::counter_add_labeled(name, &(obs.label)(key), 1);
+            }
+        }
         found
     }
 
@@ -209,6 +253,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
                     Some(oldest) => {
                         shard.map.remove(&oldest);
                         self.evictions.fetch_add(1, Relaxed);
+                        if ckpt_obs::active() {
+                            if let Some(obs) = &self.obs {
+                                ckpt_obs::counter_add_labeled(
+                                    obs.evict,
+                                    &(obs.label)(&oldest),
+                                    1,
+                                );
+                            }
+                        }
                     }
                     None => break,
                 }
@@ -280,8 +333,18 @@ impl DpCaches {
     /// A fresh, unshared cache pair (tests and isolation studies).
     pub fn private() -> DpCaches {
         DpCaches {
-            plans: Arc::new(ShardedCache::new(CACHE_SHARDS, PLAN_SHARD_CAP)),
-            kernel_rows: Arc::new(ShardedCache::new(CACHE_SHARDS, ROW_SHARD_CAP)),
+            plans: Arc::new(ShardedCache::new(CACHE_SHARDS, PLAN_SHARD_CAP).with_obs(
+                "plan_cache.plans.hits",
+                "plan_cache.plans.misses",
+                "plan_cache.plans.evictions",
+                |k: &PlanKey| k.dist.obs_label(),
+            )),
+            kernel_rows: Arc::new(ShardedCache::new(CACHE_SHARDS, ROW_SHARD_CAP).with_obs(
+                "plan_cache.kernel_rows.hits",
+                "plan_cache.kernel_rows.misses",
+                "plan_cache.kernel_rows.evictions",
+                |k: &KernelRowKey| k.dist.obs_label(),
+            )),
         }
     }
 

@@ -4,6 +4,13 @@
 # platform), merging the committed baseline with the fresh run into
 # results/BENCH_pipeline.json so both numbers travel together.
 #
+# The bench runs with the `obs` feature on, so a ckpt-obs session
+# records it: alongside the JSON it emits a chrome://tracing timeline
+# (results/BENCH_pipeline_trace.json — load in chrome://tracing or
+# https://ui.perfetto.dev) and a perf-report text summary
+# (results/BENCH_pipeline_report.txt), and the binary fails if the obs
+# span totals disagree with the pipeline stage timings by more than 5%.
+#
 # Usage: scripts/bench_pipeline.sh [TRACES]
 #   TRACES — trace count (default 24; the committed baseline was recorded
 #            at 24, so other values make the speedup field meaningless)
@@ -22,15 +29,17 @@ fi
 echo "== clippy gate =="
 cargo clippy --workspace -- -D warnings
 
-echo "== build (release) =="
-cargo build --release -q -p ckpt-exp
+echo "== build (release, obs) =="
+cargo build --release -q -p ckpt-exp --features obs
 
 echo "== bench (traces=$TRACES) =="
 mkdir -p "$OUT"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
-cargo run --release -q -p ckpt-exp --bin bench_pipeline -- \
-  --traces "$TRACES" --label optimized --search coarse --out "$tmp"
+cargo run --release -q -p ckpt-exp --features obs --bin bench_pipeline -- \
+  --traces "$TRACES" --label optimized --search coarse --out "$tmp" \
+  --trace-out "$OUT/BENCH_pipeline_trace.json" \
+  --report-out "$OUT/BENCH_pipeline_report.txt"
 
 jq -n --slurpfile base "$BASELINE" --slurpfile fresh "$tmp" '
   ($base[0]) as $b | ($fresh[0]) as $n |

@@ -4,10 +4,15 @@
 #   1. release build of the whole workspace;
 #   2. the full test suite (unit + integration, incl. the golden-result
 #      bit-identity pin at 1 and 8 rayon threads);
-#   3. clippy with warnings as errors — the lib crates carry
+#   3. the observability gate: build + test the workspace with the
+#      `obs` feature on, so the live recorder paths (session collection,
+#      obs/no-obs bit-identity, prewarm hit-rate proof) are exercised —
+#      without the feature those tests degrade to their recording-off
+#      halves;
+#   4. clippy with warnings as errors — the lib crates carry
 #      `#![warn(clippy::unwrap_used, clippy::expect_used)]`, so any
 #      unwrap/expect on a library path fails this step;
-#   4. ckpt-lint — the workspace determinism & safety lint (rules and
+#   5. ckpt-lint — the workspace determinism & safety lint (rules and
 #      scoping in lint.toml): any deny-level finding exits non-zero.
 #
 # Usage: scripts/check.sh
@@ -20,8 +25,14 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== build + tests (--features obs) =="
+cargo build --release --features obs
+cargo test -q -p ckpt-obs -p ckpt-dist -p ckpt-policies -p ckpt-sim -p ckpt-exp \
+  --features ckpt-obs/obs
+
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --features obs -- -D warnings
 
 echo "== ckpt-lint (determinism & safety) =="
 # The lint crate sits outside default-members, so tier-1 build/test

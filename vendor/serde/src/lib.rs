@@ -1,14 +1,63 @@
 //! Offline stand-in for `serde`.
 //!
-//! The workspace only *derives* `Serialize` / `Deserialize` to document
-//! which result types are serialization-ready; nothing performs actual
-//! serde serialization (JSON artifacts are written by the hand-rolled
-//! emitter in `ckpt-exp`). So the traits here are empty markers and the
-//! re-exported derives (from the vendored `serde_derive`) emit marker
-//! impls. Swapping back to upstream serde changes no call sites.
+//! Unlike upstream's visitor-based design, [`Serialize`] here is a small
+//! *push* interface: a type walks itself and pushes values into a
+//! `&mut dyn ser::Serializer`. The vendored `serde_derive` generates the
+//! field walk, and the vendored `serde_json` provides the one concrete
+//! [`ser::Serializer`] (a JSON writer). This is enough for the
+//! workspace's artifact emitters while keeping the dependency graph
+//! fully offline; swapping back to upstream serde changes no call sites
+//! that stick to `#[derive(Serialize)]` + `serde_json::to_string`.
+//!
+//! `Deserialize` remains a marker trait — nothing in the workspace
+//! parses JSON back into these types.
 
-/// Marker for types whose layout is serialization-ready.
-pub trait Serialize {}
+pub mod ser {
+    /// Push-based sink for a self-describing value walk.
+    ///
+    /// Maps are driven as `begin_map`, then per entry `key` followed by
+    /// exactly one value push, then `end_map`. Sequences are driven as
+    /// `begin_seq`, then per element `elem` followed by one value push,
+    /// then `end_seq`. `put_none` is distinct from `put_null` so a sink
+    /// can *omit* `Option::None` map entries while still emitting an
+    /// explicit `null` where the data model requires one (non-finite
+    /// floats, `None` sequence elements).
+    pub trait Serializer {
+        /// An explicit null value.
+        fn put_null(&mut self);
+        /// An absent value (`Option::None`): sinks may omit the
+        /// surrounding map entry instead of writing `null`.
+        fn put_none(&mut self);
+        /// A boolean.
+        fn put_bool(&mut self, v: bool);
+        /// Any unsigned integer (all widths funnel through `u64`).
+        fn put_u64(&mut self, v: u64);
+        /// Any signed integer (all widths funnel through `i64`).
+        fn put_i64(&mut self, v: i64);
+        /// Any float (non-finite handling is the sink's business).
+        fn put_f64(&mut self, v: f64);
+        /// A string value.
+        fn put_str(&mut self, v: &str);
+        /// Open a map (JSON object).
+        fn begin_map(&mut self);
+        /// Announce the key of the next map entry.
+        fn key(&mut self, name: &str);
+        /// Close the current map.
+        fn end_map(&mut self);
+        /// Open a sequence (JSON array).
+        fn begin_seq(&mut self);
+        /// Announce the next sequence element.
+        fn elem(&mut self);
+        /// Close the current sequence.
+        fn end_seq(&mut self);
+    }
+}
+
+/// Types that can push themselves into a [`ser::Serializer`].
+pub trait Serialize {
+    /// Walk `self`, pushing values into `s`.
+    fn serialize(&self, s: &mut dyn ser::Serializer);
+}
 
 /// Marker for types whose layout is deserialization-ready.
 pub trait Deserialize {}
@@ -16,22 +65,136 @@ pub trait Deserialize {}
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-// Blanket impls for the primitives and containers that appear as fields
-// or in generic contexts, so `T: Serialize` bounds stay usable.
-macro_rules! mark {
+macro_rules! ser_uint {
     ($($t:ty),*) => {$(
-        impl Serialize for $t {}
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut dyn ser::Serializer) {
+                s.put_u64(*self as u64);
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut dyn ser::Serializer) {
+                s.put_i64(*self as i64);
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_bool(*self);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_str(self.encode_utf8(&mut [0u8; 4]));
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.put_str(self);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.begin_seq();
+        for item in self {
+            s.elem();
+            item.serialize(s);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.put_none(),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.begin_seq();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.end_seq();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, s: &mut dyn ser::Serializer) {
+        s.begin_seq();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.elem();
+        self.2.serialize(s);
+        s.end_seq();
+    }
+}
+
+// Deserialize stays a pure marker: blanket impls so `T: Deserialize`
+// bounds remain usable.
+macro_rules! mark_de {
+    ($($t:ty),*) => {$(
         impl Deserialize for $t {}
     )*};
 }
-mark!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String, str);
+mark_de!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String, str);
 
-impl<T: Serialize> Serialize for Vec<T> {}
 impl<T: Deserialize> Deserialize for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
 impl<T: Deserialize> Deserialize for Option<T> {}
-impl<T: Serialize + ?Sized> Serialize for &T {}
-impl<T: Serialize + ?Sized> Serialize for Box<T> {}
 impl<T: Deserialize + ?Sized> Deserialize for Box<T> {}
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

@@ -1,54 +1,264 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The vendored `serde` stub defines `Serialize` / `Deserialize` as
-//! marker traits (no methods), so the derives here only need to emit
-//! `impl serde::Serialize for Type {}` — no field inspection. The type
-//! name is recovered with a tiny hand parse (the token after `struct` /
-//! `enum`); generic types get no impl, which is fine because every
-//! derived type in this workspace is concrete.
+//! The vendored `serde` defines a push-based `Serialize` trait, so this
+//! derive must actually walk fields. It does so with a small hand parser
+//! over the item's `TokenStream` (no `syn`/`quote`): attributes are
+//! skipped, fields are split on top-level commas (tracking `<`/`>` depth
+//! so `HashMap<K, V>`-style types don't confuse the split), and the impl
+//! body is assembled as a formatted string and re-parsed. Supported
+//! shapes — the only ones this workspace derives on — are concrete
+//! (non-generic) named structs, tuple structs, unit structs, and enums
+//! with unit / newtype / tuple / struct variants (externally tagged,
+//! matching upstream's JSON representation). Generic types get no impl,
+//! which surfaces as a missing-trait compile error at the use site.
+//!
+//! `Deserialize` remains a marker trait; its derive still emits an empty
+//! marker impl.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extract the type name following the `struct`/`enum` keyword, unless
-/// the type is generic (next token is `<`), in which case return None.
-fn type_name(input: TokenStream) -> Option<String> {
+/// The parsed shell of a `struct`/`enum` item.
+struct Item {
+    kind: String,
+    name: String,
+    /// The `{...}`/`(...)` body group, if any (`None` for unit structs).
+    body: Option<proc_macro::Group>,
+    /// `(...)` (tuple struct) vs `{...}`.
+    body_is_paren: bool,
+}
+
+/// Parse the item shell; `None` when the type is generic (unsupported).
+fn parse_item(input: TokenStream) -> Option<Item> {
     let mut iter = input.into_iter().peekable();
     while let Some(tree) = iter.next() {
+        // Skip attributes: `#` followed by a bracketed group.
+        if let TokenTree::Punct(p) = &tree {
+            if p.as_char() == '#' {
+                iter.next();
+                continue;
+            }
+        }
         if let TokenTree::Ident(ident) = &tree {
             let kw = ident.to_string();
             if kw == "struct" || kw == "enum" {
-                if let Some(TokenTree::Ident(name)) = iter.next() {
-                    if let Some(TokenTree::Punct(p)) = iter.peek() {
-                        if p.as_char() == '<' {
-                            return None;
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return None,
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        return None; // generic: unsupported
+                    }
+                }
+                for tree in iter {
+                    if let TokenTree::Group(g) = tree {
+                        let paren = g.delimiter() == Delimiter::Parenthesis;
+                        if paren || g.delimiter() == Delimiter::Brace {
+                            return Some(Item {
+                                kind: kw,
+                                name,
+                                body: Some(g),
+                                body_is_paren: paren,
+                            });
                         }
                     }
-                    return Some(name.to_string());
                 }
-                return None;
+                return Some(Item { kind: kw, name, body: None, body_is_paren: false });
             }
         }
     }
     None
 }
 
-fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
-    match type_name(input) {
-        Some(name) => format!("impl {trait_path} for {name} {{}}")
-            .parse()
-            .expect("generated impl parses"),
-        None => TokenStream::new(),
+/// Split a group's tokens on top-level commas, tracking `<`/`>` nesting
+/// (a `>` that closes a `->` arrow is not a generic close; struct field
+/// types can contain `fn(...) -> T`).
+fn split_commas(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for tree in group.stream() {
+        let mut is_dash = false;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                '-' => is_dash = true,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = is_dash;
+        if let Some(last) = out.last_mut() {
+            last.push(tree);
+        }
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) from a token chunk.
+fn skip_attrs(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// The field name of one named-field chunk: the ident after optional
+/// visibility (`pub`, `pub(...)`).
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let tokens = skip_attrs(tokens);
+    let mut i = 0;
+    if let Some(TokenTree::Ident(id)) = tokens.first() {
+        if id.to_string() == "pub" {
+            i = 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(1) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i = 2;
+                }
+            }
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
     }
 }
 
-/// Derive the `serde::Serialize` marker trait.
+/// Emit the map walk for named fields, reading each `accessor` off a
+/// `&self`-style base (e.g. `&self.name`) or a pattern binding (`name`).
+fn named_fields_body(group: &proc_macro::Group, via_self: bool) -> Option<String> {
+    let mut body = String::from("__s.begin_map();\n");
+    for chunk in split_commas(group) {
+        let name = field_name(&chunk)?;
+        let access = if via_self { format!("&self.{name}") } else { name.clone() };
+        body.push_str(&format!(
+            "__s.key(\"{name}\"); ::serde::Serialize::serialize({access}, __s);\n"
+        ));
+    }
+    body.push_str("__s.end_map();\n");
+    Some(body)
+}
+
+fn struct_impl(item: &Item) -> Option<String> {
+    let body = match &item.body {
+        None => "__s.put_null();\n".to_string(), // unit struct, as upstream
+        Some(g) if item.body_is_paren => {
+            // Tuple struct: 1 field serializes transparently (upstream
+            // newtype behavior), n fields as a sequence.
+            let n = split_commas(g).len();
+            if n == 1 {
+                "::serde::Serialize::serialize(&self.0, __s);\n".to_string()
+            } else {
+                let mut b = String::from("__s.begin_seq();\n");
+                for i in 0..n {
+                    b.push_str(&format!(
+                        "__s.elem(); ::serde::Serialize::serialize(&self.{i}, __s);\n"
+                    ));
+                }
+                b.push_str("__s.end_seq();\n");
+                b
+            }
+        }
+        Some(g) => named_fields_body(g, true)?,
+    };
+    Some(body)
+}
+
+fn enum_impl(item: &Item) -> Option<String> {
+    let group = item.body.as_ref()?;
+    let name = &item.name;
+    let mut arms = String::new();
+    for chunk in split_commas(group) {
+        let chunk = skip_attrs(&chunk);
+        let variant = match chunk.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return None,
+        };
+        match chunk.get(1) {
+            // Struct variant: {"Variant": {fields...}}
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields: Vec<String> = split_commas(g)
+                    .iter()
+                    .map(|c| field_name(c))
+                    .collect::<Option<_>>()?;
+                let pat = fields.join(", ");
+                let walk = named_fields_body(g, false)?;
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {pat} }} => {{\n\
+                     __s.begin_map(); __s.key(\"{variant}\");\n{walk}__s.end_map();\n}}\n"
+                ));
+            }
+            // Tuple / newtype variant.
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_commas(g).len();
+                let binds: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+                let pat = binds.join(", ");
+                let inner = if n == 1 {
+                    "::serde::Serialize::serialize(v0, __s);\n".to_string()
+                } else {
+                    let mut b = String::from("__s.begin_seq();\n");
+                    for bind in &binds {
+                        b.push_str(&format!(
+                            "__s.elem(); ::serde::Serialize::serialize({bind}, __s);\n"
+                        ));
+                    }
+                    b.push_str("__s.end_seq();\n");
+                    b
+                };
+                arms.push_str(&format!(
+                    "{name}::{variant}({pat}) => {{\n\
+                     __s.begin_map(); __s.key(\"{variant}\");\n{inner}__s.end_map();\n}}\n"
+                ));
+            }
+            // Unit variant (possibly with a discriminant): "Variant".
+            _ => {
+                arms.push_str(&format!(
+                    "{name}::{variant} => {{ __s.put_str(\"{variant}\"); }}\n"
+                ));
+            }
+        }
+    }
+    Some(format!("match self {{\n{arms}}}\n"))
+}
+
+/// Derive a real, field-walking `serde::Serialize` impl.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "::serde::Serialize")
+    let Some(item) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let body = if item.kind == "struct" { struct_impl(&item) } else { enum_impl(&item) };
+    let Some(body) = body else {
+        return TokenStream::new();
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, __s: &mut dyn ::serde::ser::Serializer) {{\n{body}}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
 }
 
 /// Derive the `serde::Deserialize` marker trait.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "::serde::Deserialize")
+    match parse_item(input) {
+        Some(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated marker impl parses"),
+        None => TokenStream::new(),
+    }
 }

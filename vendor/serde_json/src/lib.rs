@@ -1,9 +1,21 @@
-//! Offline stand-in for `serde_json`.
+//! Offline stand-in for `serde_json`: a push-based JSON writer over the
+//! vendored `serde::ser::Serializer` interface.
 //!
-//! Present so the dependency graph resolves offline; the workspace's
-//! JSON artifacts (e.g. `BENCH_pipeline.json`) are written by the
-//! hand-rolled emitter in `ckpt-exp::perf`, which needs no serde. The
-//! one helper here escapes strings per RFC 8259 for that emitter.
+//! One deliberate deviation from upstream's compact form: entries are
+//! separated with `", "` and keys with `": "` — the exact byte format of
+//! the workspace's original hand-rolled emitters (`BENCH_pipeline.json`,
+//! the goldens), so switching call sites to [`to_string`] keeps every
+//! artifact byte-identical. Two more contract points:
+//!
+//! - `Option::None` **map entries are omitted** (upstream
+//!   `skip_serializing_if` behavior, but unconditional), so appending an
+//!   `Option` field to a struct does not disturb existing output. A
+//!   `None` in sequence position still writes `null`.
+//! - Non-finite floats write `null` (JSON has no NaN/Infinity), exactly
+//!   like the original emitter's [`format_f64`], which now lives here.
+
+use serde::ser::Serializer;
+use serde::Serialize;
 
 /// Escape `s` as the *contents* of a JSON string literal (no quotes).
 pub fn escape_str(s: &str) -> String {
@@ -22,11 +34,212 @@ pub fn escape_str(s: &str) -> String {
     out
 }
 
+/// JSON-safe float formatting: finite values use Rust's shortest
+/// round-trip form with a trailing `.0` forced onto integral values;
+/// NaN/±Infinity map to `null`.
+pub fn format_f64(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize `value` to a JSON string (see the module docs for the
+/// byte-format contract).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut w = Writer::new();
+    value.serialize(&mut w);
+    w.into_string()
+}
+
+enum Frame {
+    Map { any: bool },
+    Seq { any: bool },
+}
+
+/// The one concrete [`Serializer`]: an append-only JSON string writer.
+///
+/// Keys are buffered in `pending_key` and only flushed when a value
+/// actually arrives, which is what lets `put_none` drop the whole map
+/// entry (key, separator and all).
+pub struct Writer {
+    buf: String,
+    stack: Vec<Frame>,
+    pending_key: Option<String>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self { buf: String::new(), stack: Vec::new(), pending_key: None }
+    }
+
+    /// The accumulated JSON text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    /// Flush the buffered key (with its entry separator) ahead of a
+    /// value write.
+    fn before_value(&mut self) {
+        if let Some(key) = self.pending_key.take() {
+            if let Some(Frame::Map { any }) = self.stack.last_mut() {
+                if *any {
+                    self.buf.push_str(", ");
+                }
+                *any = true;
+            }
+            self.buf.push('"');
+            self.buf.push_str(&escape_str(&key));
+            self.buf.push_str("\": ");
+        }
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Serializer for Writer {
+    fn put_null(&mut self) {
+        self.before_value();
+        self.buf.push_str("null");
+    }
+
+    fn put_none(&mut self) {
+        if self.pending_key.take().is_none() {
+            // Not a map entry (sequence element or top level): an
+            // explicit null is the only faithful representation.
+            self.before_value();
+            self.buf.push_str("null");
+        }
+    }
+
+    fn put_bool(&mut self, v: bool) {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.before_value();
+        self.buf.push_str(&format_f64(v));
+    }
+
+    fn put_str(&mut self, v: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&escape_str(v));
+        self.buf.push('"');
+    }
+
+    fn begin_map(&mut self) {
+        self.before_value();
+        self.stack.push(Frame::Map { any: false });
+        self.buf.push('{');
+    }
+
+    fn key(&mut self, name: &str) {
+        self.pending_key = Some(name.to_string());
+    }
+
+    fn end_map(&mut self) {
+        // A trailing omitted `None` field may leave a dangling key.
+        self.pending_key = None;
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    fn begin_seq(&mut self) {
+        self.before_value();
+        self.stack.push(Frame::Seq { any: false });
+        self.buf.push('[');
+    }
+
+    fn elem(&mut self) {
+        if let Some(Frame::Seq { any }) = self.stack.last_mut() {
+            if *any {
+                self.buf.push_str(", ");
+            }
+            *any = true;
+        }
+    }
+
+    fn end_seq(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn escapes_controls_and_quotes() {
-        assert_eq!(super::escape_str("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(super::escape_str("\u{1}"), "\\u0001");
+        assert_eq!(escape_str("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_str("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        assert_eq!(format_f64(2.0), "2.0");
+        assert_eq!(format_f64(0.25), "0.25");
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn scalars_and_sequences() {
+        assert_eq!(to_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&vec![1u64, 2, 3]), "[1, 2, 3]");
+        assert_eq!(to_string(&(1u64, 2.5f64)), "[1, 2.5]");
+        // None in sequence position stays an explicit null.
+        assert_eq!(to_string(&vec![Some(1u64), None]), "[1, null]");
+        // Non-finite floats are null even inside sequences.
+        assert_eq!(to_string(&vec![1.0f64, f64::NAN]), "[1.0, null]");
+    }
+
+    #[test]
+    fn maps_use_the_workspace_separators_and_omit_none() {
+        struct Probe;
+        impl Serialize for Probe {
+            fn serialize(&self, s: &mut dyn Serializer) {
+                s.begin_map();
+                s.key("a");
+                s.put_u64(1);
+                s.key("gone");
+                s.put_none();
+                s.key("b");
+                s.begin_map();
+                s.key("inner");
+                s.put_str("x");
+                s.end_map();
+                s.key("tail_gone");
+                s.put_none();
+                s.end_map();
+            }
+        }
+        assert_eq!(to_string(&Probe), "{\"a\": 1, \"b\": {\"inner\": \"x\"}}");
     }
 }
