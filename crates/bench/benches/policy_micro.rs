@@ -103,6 +103,38 @@ fn kernel_table_vs_direct(c: &mut Criterion) {
     });
 }
 
+fn cold_row_batched_vs_scalar(c: &mut Criterion) {
+    // A cold kernel row is one `log_survival` per grid point. Two ways
+    // to fill it: the trait-default scalar loop (glibc `powf` per
+    // element — what `Weibull` ships) and the batched ln→exp
+    // composition in `ckpt_math::simd::weibull_log_survival`. On the
+    // SSE2 baseline the scalar `powf` wins (~14 vs ~20 ns/element),
+    // which is why `Weibull` has no `log_survival_batch` override; this
+    // pair keeps that trade-off measured so the call can be revisited
+    // on wider targets.
+    let d = Weibull::from_mtbf(0.7, 125.0 * YEAR);
+    let (shape, scale) = (d.shape(), d.scale());
+    let ts: Vec<f64> = (0..256).map(|i| 1.0e4 + i as f64 * 2.7e7).collect();
+    let mut out = vec![0.0f64; ts.len()];
+    c.bench_function("cold_row_scalar_powf_256pts", |b| {
+        b.iter(|| {
+            d.log_survival_batch(std::hint::black_box(&ts), &mut out);
+            std::hint::black_box(out[0])
+        })
+    });
+    c.bench_function("cold_row_batched_ln_exp_256pts", |b| {
+        b.iter(|| {
+            ckpt_core::math::simd::weibull_log_survival(
+                std::hint::black_box(&ts),
+                shape,
+                scale,
+                &mut out,
+            );
+            std::hint::black_box(out[0])
+        })
+    });
+}
+
 fn dp_makespan_build(c: &mut Criterion) {
     let spec = JobSpec::table1_single_processor();
     c.bench_function("dp_makespan_build_60q_weibull", |b| {
@@ -166,6 +198,7 @@ criterion_group! {
     targets = lambert_w, optexp_construction, weibull_expected_loss,
               registry_policy_build, dp_next_failure_plan,
               dp_next_failure_plan_cache_hit, kernel_table_vs_direct,
-              dp_makespan_build, engine_throughput, trace_generation
+              cold_row_batched_vs_scalar, dp_makespan_build,
+              engine_throughput, trace_generation
 }
 criterion_main!(micro);

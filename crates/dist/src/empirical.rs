@@ -8,10 +8,25 @@
 //! equal to `τ`."* That is exactly the survival-ratio definition the
 //! [`FailureDistribution`] trait derives from `log_survival`, so this type
 //! only needs to expose the counting survival function over the sorted
-//! sample.
+//! sample — plus the precomputed index structures that make the DP
+//! kernels cheap:
+//!
+//! * `log_tail[i] = ln((n−i)/n)` — log-survival by sorted index, so a
+//!   query is one rank lookup instead of a `ln` call;
+//! * `prefix[i] = Σ_{k<i} dₖ` — exact survival integral
+//!   `I(t) = ∫₀ᵗ S = (prefix[rank] + (n−rank)·t)/n`, giving
+//!   `E[Tlost(x|τ)]` in O(log n) instead of adaptive quadrature;
+//! * a uniform value-grid of rank *anchors* narrowing each rank search
+//!   to a couple of bisection steps in the common case;
+//! * a stored value fingerprint (over the sorted duration bits), so the
+//!   shared DP plan/kernel-row caches pool results across every
+//!   instance built from the same log.
 
-use crate::{DistError, FailureDistribution};
+use crate::{loss, DistError, FailureDistribution};
 use rand::RngCore;
+
+/// Anchor buckets per logged duration — the value grid is `2n` cells.
+const ANCHORS_PER_DURATION: usize = 2;
 
 /// Discrete empirical failure distribution over a log's availability
 /// durations.
@@ -20,6 +35,17 @@ pub struct Empirical {
     /// Sorted ascending availability durations.
     durations: Vec<f64>,
     mean: f64,
+    /// `ln((n−i)/n)` for `i = 0..n`; `rank = n` is the −∞ sentinel.
+    log_tail: Vec<f64>,
+    /// `prefix[i] = Σ_{k<i} durations[k]` (length `n + 1`).
+    prefix: Vec<f64>,
+    /// `anchors[j] = rank(d₀ + j·anchor_step)`: rank bounds per value
+    /// cell, so a rank query bisects a short slice instead of the log.
+    anchors: Vec<u32>,
+    /// Reciprocal of the anchor cell width (0 for a degenerate support).
+    anchor_inv_step: f64,
+    /// Value identity over the sorted duration bits.
+    fingerprint: u64,
 }
 
 impl Empirical {
@@ -49,10 +75,41 @@ impl Empirical {
         }
         // All finite by the check above, so total order == partial order.
         durations.sort_by(|a, b| a.total_cmp(b));
-        let mean =
-            durations.iter().copied().collect::<ckpt_math::KahanSum>().value()
-                / durations.len() as f64;
-        Ok(Self { durations, mean })
+        let n = durations.len();
+        let mean = durations.iter().copied().collect::<ckpt_math::KahanSum>().value()
+            / n as f64;
+        // log_tail[i] must reproduce the historical `(c/n).ln()` bits so
+        // precomputing it is invisible to every cached result.
+        let log_tail: Vec<f64> =
+            (0..n).map(|i| ((n - i) as f64 / n as f64).ln()).collect();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0f64;
+        for &d in &durations {
+            acc += d;
+            prefix.push(acc);
+        }
+        let lo = durations[0];
+        let hi = durations[n - 1];
+        let cells = n * ANCHORS_PER_DURATION;
+        let (anchors, anchor_inv_step) = if hi > lo {
+            let step = (hi - lo) / cells as f64;
+            let mut anchors: Vec<u32> = (0..=cells as u64)
+                .map(|j| {
+                    let threshold = lo + j as f64 * step;
+                    durations.partition_point(|&d| d < threshold) as u32
+                })
+                .collect();
+            // The last threshold may round below `hi`; `n` is the one
+            // always-safe upper bound for the final cell.
+            anchors[cells] = n as u32;
+            (anchors, 1.0 / step)
+        } else {
+            (vec![0, n as u32], 0.0)
+        };
+        let bits: Vec<u64> = durations.iter().map(|d| d.to_bits()).collect();
+        let fingerprint = crate::combine_fingerprint(4, &bits);
+        Ok(Self { durations, mean, log_tail, prefix, anchors, anchor_inv_step, fingerprint })
     }
 
     /// Number of logged durations.
@@ -65,17 +122,55 @@ impl Empirical {
         self.durations.is_empty()
     }
 
+    /// Rank of `t`: number of logged durations `< t` (the
+    /// `partition_point` the survival count is defined by), answered
+    /// through the anchor grid. The anchors only *narrow* the bisection
+    /// range — widened one cell each way to absorb the float rounding in
+    /// the cell computation — so the result is exactly the full
+    /// `partition_point`.
+    #[inline]
+    fn rank(&self, t: f64) -> usize {
+        let n = self.durations.len();
+        if t <= self.durations[0] {
+            return 0;
+        }
+        if t > self.durations[n - 1] {
+            return n;
+        }
+        let cells = self.anchors.len() - 1;
+        let j = ((t - self.durations[0]) * self.anchor_inv_step) as usize;
+        let lo = self.anchors[j.saturating_sub(1).min(cells)] as usize;
+        let hi = self.anchors[(j + 2).min(cells)] as usize;
+        debug_assert!(
+            {
+                let exact = self.durations.partition_point(|&d| d < t);
+                (lo..=hi).contains(&exact)
+            },
+            "anchor cell misses the true rank"
+        );
+        lo + self.durations[lo..hi].partition_point(|&d| d < t)
+    }
+
     /// Count of durations `≥ t` (the numerator/denominator of §4.3).
     pub fn count_at_least(&self, t: f64) -> usize {
-        // First index with duration ≥ t.
-        let idx = self.durations.partition_point(|&d| d < t);
-        self.durations.len() - idx
+        self.durations.len() - self.rank(t)
     }
 
     /// Largest logged duration — the support's upper edge.
     pub fn max_duration(&self) -> f64 {
         // Construction guarantees at least one duration.
         self.durations[self.durations.len() - 1]
+    }
+
+    /// Exact survival integral `I(t) = ∫₀ᵗ S(s) ds = E[min(D, t)]`:
+    /// `(Σ_{d<t} d + #{d ≥ t}·t) / n` straight off the prefix sums.
+    pub fn survival_integral(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let n = self.durations.len();
+        let r = self.rank(t);
+        (self.prefix[r] + (n - r) as f64 * t) / n as f64
     }
 }
 
@@ -84,11 +179,24 @@ impl FailureDistribution for Empirical {
         if t <= 0.0 {
             return 0.0;
         }
-        let c = self.count_at_least(t);
-        if c == 0 {
+        let r = self.rank(t);
+        if r == self.durations.len() {
             f64::NEG_INFINITY
         } else {
-            (c as f64 / self.durations.len() as f64).ln()
+            self.log_tail[r]
+        }
+    }
+
+    fn log_survival_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "log_survival_batch: length mismatch");
+        let n = self.durations.len();
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = if t <= 0.0 {
+                0.0
+            } else {
+                let r = self.rank(t);
+                if r == n { f64::NEG_INFINITY } else { self.log_tail[r] }
+            };
         }
     }
 
@@ -111,8 +219,27 @@ impl FailureDistribution for Empirical {
         self.durations[i.min(n - 1)]
     }
 
+    fn expected_loss(&self, x: f64, tau: f64) -> f64 {
+        // Closed form over the prefix sums — replaces the generic
+        // adaptive quadrature (which pays a rank search per integrand
+        // evaluation) with two rank searches total.
+        loss::expected_loss_from_integral(
+            |t| self.survival_integral(t),
+            |t| self.survival(t),
+            x,
+            tau.max(0.0),
+        )
+    }
+
     fn clone_box(&self) -> Box<dyn FailureDistribution> {
         Box::new(self.clone())
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // log_survival is a pure function of the sorted duration bits;
+        // precomputed at construction (hashing the log once), so the
+        // shared DP caches pool plans across instances of the same log.
+        Some(self.fingerprint)
     }
 }
 
@@ -136,6 +263,37 @@ mod tests {
         assert_eq!(e.count_at_least(50.0), 1);
         assert_eq!(e.count_at_least(50.1), 0);
         assert!((e.survival(25.0) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchored_rank_matches_partition_point_everywhere() {
+        // Clustered + outlier values stress the uniform value grid: most
+        // anchors collapse onto the dense region and the widened cell
+        // lookup must still reproduce the exact rank.
+        let mut durations: Vec<f64> = (0..400).map(|i| 100.0 + (i % 37) as f64 * 0.25).collect();
+        durations.extend([1e6, 2e6, 5e7]);
+        let e = Empirical::from_durations(durations.clone());
+        durations.sort_by(|a, b| a.total_cmp(b));
+        let mut probes: Vec<f64> = durations.clone();
+        probes.extend(durations.iter().map(|d| d + 1e-9));
+        probes.extend(durations.iter().map(|d| d - 1e-9));
+        probes.extend([0.0, 99.0, 1e8, 3.3e6]);
+        for t in probes {
+            let got = e.count_at_least(t);
+            let want = durations.iter().filter(|&&d| d >= t).count();
+            assert_eq!(got, want, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn log_survival_batch_matches_scalar_bits() {
+        let e = sample_log();
+        let ts: Vec<f64> = vec![-5.0, 0.0, 5.0, 10.0, 25.0, 50.0, 51.0, 1e9];
+        let mut out = vec![f64::NAN; ts.len()];
+        e.log_survival_batch(&ts, &mut out);
+        for (i, &t) in ts.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), e.log_survival(t).to_bits(), "t = {t}");
+        }
     }
 
     #[test]
@@ -195,10 +353,58 @@ mod tests {
     }
 
     #[test]
+    fn survival_integral_is_expected_min() {
+        let e = sample_log();
+        // I(t) = E[min(D, t)]: exact piecewise values.
+        assert_eq!(e.survival_integral(0.0), 0.0);
+        assert_eq!(e.survival_integral(10.0), 10.0); // all d ≥ 10
+        // t = 25: d<25 → {10, 20}, 3 at least: (30 + 3·25)/5 = 21.
+        assert!((e.survival_integral(25.0) - 21.0).abs() < 1e-12);
+        // Past the support: E[D] = mean.
+        assert!((e.survival_integral(1e9) - e.mean()).abs() < 1e-9);
+    }
+
+    #[test]
     fn expected_loss_within_window() {
         let e = sample_log();
         let loss = e.expected_loss(35.0, 0.0);
         assert!(loss > 0.0 && loss < 35.0, "got {loss}");
+    }
+
+    #[test]
+    fn expected_loss_matches_discrete_mean() {
+        // E[X − τ | τ ≤ X < τ+x] over a discrete sample is the plain mean
+        // of (d − τ) across the logged durations inside the window — the
+        // prefix-sum closed form must reproduce it exactly. (The generic
+        // quadrature is NOT the oracle here: adaptive Simpson can place a
+        // step discontinuity a whole cell off, several percent of x on
+        // a sparse window.)
+        let durs: Vec<f64> = (1..200).map(|i| (i as f64 * 13.7) % 977.0 + 1.0).collect();
+        let e = Empirical::from_durations(durs.clone());
+        for &(x, tau) in &[(50.0, 0.0), (200.0, 100.0), (900.0, 30.0), (30.0, 800.0)] {
+            let fast = e.expected_loss(x, tau);
+            let window: Vec<f64> =
+                durs.iter().copied().filter(|&d| d >= tau && d < tau + x).collect();
+            let exact = if window.is_empty() {
+                0.5 * x
+            } else {
+                window.iter().map(|d| d - tau).sum::<f64>() / window.len() as f64
+            };
+            assert!(
+                (fast - exact).abs() <= 1e-9 * x,
+                "x={x} τ={tau}: closed {fast} vs discrete mean {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_pools_same_log_instances() {
+        let a = sample_log();
+        let b = sample_log();
+        let c = Empirical::from_durations(vec![10.0, 20.0, 30.0, 40.0, 50.5]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(a.fingerprint().is_some());
     }
 
     #[test]

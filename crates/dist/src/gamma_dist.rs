@@ -180,8 +180,8 @@ mod tests {
     #[test]
     fn gamma_q_integer_shape_closed_form() {
         // Q(2, x) = (1 + x) e^{−x}.
-        for &x in &[0.1, 1.0, 3.0, 10.0] {
-            let expect = (1.0 + x) * (-x as f64).exp();
+        for &x in &[0.1f64, 1.0, 3.0, 10.0] {
+            let expect = (1.0 + x) * (-x).exp();
             assert!((gamma_q(2.0, x) - expect).abs() < 1e-12, "x = {x}");
         }
     }

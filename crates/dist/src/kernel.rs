@@ -45,18 +45,35 @@ impl KernelTable {
         assert!(horizon > 0.0, "horizon must be positive");
         assert!(resolution > 0.0, "resolution must be positive");
         let step = (resolution / 8.0).max(horizon / 200_000.0);
-        let log_surv = UniformTable::sample(|t| dist.log_survival(t), horizon, step);
-        // exp of the sampled log-survival is exactly `dist.survival` at
-        // the same points (the trait derives survival the same way).
-        let surv = UniformTable::from_parts(
-            step,
-            log_surv.values().iter().map(|&g| g.exp()).collect(),
-        );
-        let integral = UniformTable::cumulative_trapezoid(&surv);
         let obs_label = match dist.fingerprint() {
             Some(fp) => format!("fp:{fp:016x}"),
             None => "unfingerprinted".to_string(),
         };
+        // Cold build path: one batched log-survival pass over the whole
+        // grid (the family's vectorised override where one exists — a
+        // single ln/exp sweep for Weibull, indexed counting for
+        // Empirical) instead of a scalar transcendental per grid point.
+        // The grid times are exactly the `k·step` points
+        // `UniformTable::sample` would have used.
+        let n = (horizon / step).ceil() as usize + 2;
+        let ts: Vec<f64> = (0..n).map(|k| k as f64 * step).collect();
+        let mut logs = vec![0.0f64; n];
+        dist.log_survival_batch(&ts, &mut logs);
+        if ckpt_obs::active() {
+            ckpt_obs::counter_add_labeled(
+                "kernel_table.cold_build_points",
+                &obs_label,
+                n as u64,
+            );
+        }
+        let log_surv = UniformTable::from_parts(step, logs);
+        // exp of the sampled log-survival is `dist.survival` at the same
+        // points, evaluated through the shared vectorised exp kernel
+        // (`−∞` sentinels flush to survival 0 exactly).
+        let mut surv_vals = vec![0.0f64; n];
+        ckpt_math::simd::exp_shifted(log_surv.values(), 0.0, &mut surv_vals);
+        let surv = UniformTable::from_parts(step, surv_vals);
+        let integral = UniformTable::cumulative_trapezoid(&surv);
         Self { dist, log_surv, integral, obs_label }
     }
 
@@ -104,7 +121,7 @@ impl KernelTable {
     /// `S(t)` through the tabulated log-survival.
     #[inline]
     pub fn survival(&self, t: f64) -> f64 {
-        self.log_survival(t).exp()
+        self.log_survival(t).exp() // lint: allow(naked-transcendental-in-hot-path) — exp of the tabulated log-survival is the table's sanctioned exit to linear domain
     }
 
     /// Conditional survival `Psuc(x|τ)` through the table (the trait's
@@ -118,7 +135,7 @@ impl KernelTable {
         if ls_tau == f64::NEG_INFINITY { // lint: allow(float-eq) — -inf log-survival sentinel is an exact bit pattern
             return 0.0;
         }
-        (self.log_survival(tau.max(0.0) + x) - ls_tau).exp()
+        (self.log_survival(tau.max(0.0) + x) - ls_tau).exp() // lint: allow(naked-transcendental-in-hot-path) — exp of a tabulated log-survival difference; the trait's canonical Psuc form
     }
 
     /// Hazard `−d/dt ln S(t)` from the table's cell slope; exact fallback
@@ -278,6 +295,65 @@ mod tests {
         assert_eq!(out.len(), offsets.len());
         for (i, &t) in offsets.iter().enumerate() {
             assert_eq!(out[i], k.log_survival(1_234.0 + t));
+        }
+    }
+
+    fn empirical_kernel() -> (crate::Empirical, KernelTable) {
+        // A synthetic availability log shaped like the LANL traces:
+        // sub-hour to multi-week uptimes, heavy low-end mass.
+        let durs: Vec<f64> =
+            (1..=500).map(|i| 600.0 + (i as f64 * 7919.0) % 1_209_600.0).collect();
+        let e = crate::Empirical::from_durations(durs);
+        let k = KernelTable::build(Box::new(e.clone()), 2_000_000.0, 3_600.0);
+        (e, k)
+    }
+
+    #[test]
+    fn empirical_on_grid_queries_are_exact_within_1e9_relative() {
+        // The Empirical batch path is bit-identical to its scalar
+        // log-survival, so grid points hold the exact step-function
+        // values and on-grid queries reproduce them.
+        let (e, k) = empirical_kernel();
+        let step = k.step();
+        for i in [1usize, 7, 100, 1000, 4000] {
+            let t = i as f64 * step;
+            let exact = e.log_survival(t);
+            let table = k.log_survival(t);
+            if exact == f64::NEG_INFINITY {
+                assert_eq!(table, f64::NEG_INFINITY, "t = {t}");
+            } else {
+                let rel = (table - exact).abs() / exact.abs().max(1e-300);
+                assert!(rel <= 1e-9, "t = {t}: table {table} vs exact {exact} (rel {rel})");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_off_grid_falls_back_to_exact() {
+        let (e, k) = empirical_kernel();
+        let t = k.horizon() * 3.0;
+        assert_eq!(k.log_survival(t), e.log_survival(t));
+        // Past the support both are the −∞ sentinel; inside the horizon
+        // but past the largest duration the table interpolates into −∞
+        // and survival flushes to exactly 0.
+        let past_support = e.max_duration() + 2.0 * k.step();
+        assert!(past_support < k.horizon());
+        assert_eq!(k.log_survival(past_support), f64::NEG_INFINITY);
+        assert_eq!(k.survival(past_support), 0.0);
+    }
+
+    #[test]
+    fn empirical_expected_loss_tracks_closed_form() {
+        // The table's trapezoid integral approximates the exact
+        // prefix-sum form within the grid-resolution error.
+        let (e, k) = empirical_kernel();
+        for &(x, tau) in &[(3_600.0, 0.0), (86_400.0, 7_200.0), (604_800.0, 86_400.0)] {
+            let got = k.expected_loss(x, tau);
+            let expect = e.expected_loss(x, tau);
+            assert!(
+                (got - expect).abs() < 0.02 * expect.max(1.0) + k.step(),
+                "x={x} τ={tau}: table {got} vs closed {expect}"
+            );
         }
     }
 

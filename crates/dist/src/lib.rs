@@ -56,6 +56,24 @@ pub trait FailureDistribution: Send + Sync + std::fmt::Debug {
     /// `−∞` (a bounded support, e.g. empirical distributions).
     fn log_survival(&self, t: f64) -> f64;
 
+    /// Batch `ln P(X ≥ tᵢ)` — the DP kernel-row and table-build shape.
+    ///
+    /// The default is the scalar loop, bit-identical to per-element
+    /// [`log_survival`](Self::log_survival) calls. Families with a
+    /// cheaper batched evaluation (Weibull's single-`ln`/single-`exp`
+    /// log-domain pass, Empirical's indexed counting) override it; an
+    /// override may differ from the scalar path at the ~ulp level (the
+    /// trait contract is ≤1e−12 relative agreement, pinned per family
+    /// by tests), and any such family must say so in its
+    /// [`fingerprint`](Self::fingerprint) docs since cached rows mix
+    /// the two paths' outputs.
+    fn log_survival_batch(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(ts.len(), out.len(), "log_survival_batch: length mismatch");
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = self.log_survival(t);
+        }
+    }
+
     /// Mean inter-arrival time `E[X]`.
     fn mean(&self) -> f64;
 

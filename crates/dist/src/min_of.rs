@@ -39,6 +39,18 @@ impl FailureDistribution for MinOf {
         }
     }
 
+    fn log_survival_batch(&self, ts: &[f64], out: &mut [f64]) {
+        // Delegate the batch to the inner family (Weibull's log-domain
+        // pass, Empirical's indexed counting), then apply the `n×`
+        // scaling — the same multiply the scalar path performs, so this
+        // wrapper adds no FP divergence of its own. `t ≤ 0` entries come
+        // back 0 from the inner batch and stay 0 under the scale.
+        self.inner.log_survival_batch(ts, out);
+        for v in out.iter_mut() {
+            *v *= self.n;
+        }
+    }
+
     fn mean(&self) -> f64 {
         // E[min] = ∫₀^∞ S(t)ⁿ dt; truncate where S(t)ⁿ < 1e−14.
         let tail = (1e-14f64).ln() / self.n; // target inner log-survival

@@ -65,6 +65,8 @@ pub fn default_rule_config(rule: &str) -> RuleConfig {
             rc.paths = vec![
                 "crates/policies/src/dp_next_failure.rs".into(),
                 "crates/policies/src/dp_makespan.rs".into(),
+                "crates/math/src/simd.rs".into(),
+                "crates/dist/src/kernel.rs".into(),
             ];
             rc.skip_tests = true;
         }

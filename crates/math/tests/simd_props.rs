@@ -1,0 +1,127 @@
+//! The lane kernels' one load-bearing promise, property-tested: a
+//! 4-wide pass plus scalar tail produces the SAME BITS as an all-scalar
+//! loop, for every length (so every remainder-lane split) and for the
+//! sentinel values the DP solver actually feeds them — exact zeros,
+//! subnormals, and the `−∞` log-survival marker. Comparisons are on
+//! `to_bits()`: "close" is a miss here, and NaN outcomes (e.g. a
+//! `0 · −∞` coefficient hit) must agree bit-for-bit too.
+
+use ckpt_math::simd::{self, F64x4, LANES};
+use proptest::prelude::*;
+
+/// Values the DP grids contain: ordinary magnitudes across many
+/// octaves, exact ±0, subnormals, and the −∞ sentinel rows. (The
+/// vendored proptest has no `prop_oneof`; a selector + `prop_map`
+/// does the same mixing.)
+fn grid_value() -> impl Strategy<Value = f64> {
+    (0u32..15, -700.0..700.0f64).prop_map(|(sel, v)| match sel {
+        0..=7 => v,
+        8 | 9 => v * 1.0e-6,
+        10 => 0.0,
+        11 => -0.0,
+        12 => f64::MIN_POSITIVE / 4.0, // subnormal
+        13 => -f64::MIN_POSITIVE / 4.0,
+        _ => f64::NEG_INFINITY,
+    })
+}
+
+/// Quantum timestamps for the Weibull batch: positive grid times, the
+/// occasional negative/zero input (the early-return patch), and a
+/// subnormal.
+fn weibull_t() -> impl Strategy<Value = f64> {
+    (0u32..9, 0.0..1.0e9f64).prop_map(|(sel, v)| match sel {
+        0..=5 => v,
+        6 => -v * 1.0e-8,
+        7 => 0.0,
+        _ => f64::MIN_POSITIVE / 4.0,
+    })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `accumulate_scaled_rows` (the fused near-row sweep) must equal
+    /// one scalar pass per element with rows added in index order —
+    /// independent of where the lane boundary falls (`len % 4`) and of
+    /// how many rows are fused (1..=LANES).
+    #[test]
+    fn fused_sweep_is_bit_identical_to_scalar_passes(
+        len in 0usize..67,
+        take in 1usize..=LANES,
+        seed_vals in proptest::collection::vec(grid_value(), 5 * 67),
+        coefs in proptest::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let rows: Vec<Vec<f64>> = (0..take)
+            .map(|r| seed_vals[r * len..(r + 1) * len].to_vec())
+            .collect();
+        let init = seed_vals[4 * 67..4 * 67 + len].to_vec();
+
+        let refs: Vec<(&[f64], f64)> = rows
+            .iter()
+            .zip(&coefs)
+            .map(|(r, &c)| (r.as_slice(), c))
+            .collect();
+        let mut fused = init.clone();
+        simd::accumulate_scaled_rows(&mut fused, &refs);
+
+        let mut scalar = init;
+        for (i, g) in scalar.iter_mut().enumerate() {
+            for (row, c) in &refs {
+                *g += c * row[i];
+            }
+        }
+        prop_assert_eq!(bits(&fused), bits(&scalar));
+    }
+
+    /// `exp_shifted` (the egrid log→linear fill) must not care where the
+    /// lane boundary falls: every element equals the scalar-tail form
+    /// `exp1(src − shift)` exactly, including the −∞ → 0 sentinel.
+    #[test]
+    fn exp_shifted_is_bit_identical_to_scalar_loop(
+        src in proptest::collection::vec(grid_value(), 0..67),
+        shift in -50.0..50.0f64,
+    ) {
+        let mut dst = vec![f64::NAN; src.len()];
+        simd::exp_shifted(&src, shift, &mut dst);
+        let scalar: Vec<f64> = src.iter().map(|&x| simd::exp1(x - shift)).collect();
+        prop_assert_eq!(bits(&dst), bits(&scalar));
+    }
+
+    /// The batched Weibull log-survival: lane boundary invisible, and
+    /// the `t ≤ 0` early-return patch matches the scalar definition.
+    #[test]
+    fn weibull_batch_is_bit_identical_to_its_scalar_tail(
+        ts in proptest::collection::vec(weibull_t(), 0..67),
+        shape in 0.3..1.5f64,
+        scale in 1.0..1e8f64,
+    ) {
+        let mut out = vec![f64::NAN; ts.len()];
+        simd::weibull_log_survival(&ts, shape, scale, &mut out);
+        let scalar: Vec<f64> = ts
+            .iter()
+            .map(|&t| {
+                let x = shape * (t / scale).ln();
+                let y = -simd::exp1(x);
+                if t <= 0.0 { 0.0 } else { y }
+            })
+            .collect();
+        prop_assert_eq!(bits(&out), bits(&scalar));
+    }
+
+    /// The lane primitives themselves: `exp4`/`ln4` are per-lane twins
+    /// of `exp1`/`ln1` by construction — pin it against reordering.
+    #[test]
+    fn lane_ops_match_scalar_twins(vals in proptest::collection::vec(grid_value(), 4)) {
+        let v = F64x4::from_slice(&vals);
+        let e4 = simd::exp4(v);
+        let l4 = simd::ln4(v);
+        for (i, &x) in vals.iter().enumerate().take(LANES) {
+            prop_assert_eq!(e4.0[i].to_bits(), simd::exp1(x).to_bits());
+            prop_assert_eq!(l4.0[i].to_bits(), simd::ln1(x).to_bits());
+        }
+    }
+}

@@ -258,6 +258,7 @@ impl DpNextFailure {
             x_max: x_max as u32,
             truncated,
             half_schedule: self.config.use_half_schedule,
+            lanes: ckpt_math::simd::LANES as u32,
             buckets,
         };
         self.plans_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -285,6 +286,7 @@ impl DpNextFailure {
                 u_bits: key.u_bits,
                 checkpoint_bits: key.checkpoint_bits,
                 x_max: key.x_max,
+                lanes: ckpt_math::simd::LANES as u32,
                 bucket,
             };
             self.caches.kernel_rows.get_or_insert_with(row_key, || {
@@ -320,12 +322,15 @@ impl DpNextFailure {
 }
 
 /// Buckets per doubling of `1 + age/u` on the geometric age grid.
-const AGE_BUCKETS_PER_OCTAVE: f64 = 32.0;
+const AGE_BUCKETS_PER_OCTAVE: f64 = 16.0;
 
 /// Map an age onto the geometric bucket grid: sub-quantum ages resolve at
-/// ~`u/32` (the post-failure states the hazard is most sensitive to),
-/// ages of many quanta at ~2% relative — about the fidelity the §3.3
-/// reference-value compression keeps anyway.
+/// ~`u/16` (the post-failure states the hazard is most sensitive to),
+/// ages of many quanta at ~4% relative — still comfortably inside the
+/// fidelity band of the §3.3 reference-value compression (100 quantile
+/// reps over the whole age distribution), while halving the distinct
+/// kernel rows a study builds and sweeps relative to the previous
+/// 32-per-octave grid.
 fn quantise_age(age: f64, u: f64) -> u64 {
     (AGE_BUCKETS_PER_OCTAVE * (1.0 + age / u).log2()).round() as u64 // lint: allow(naked-transcendental-in-hot-path) — per-plan age-bucket mapping, not a row build
 }
@@ -483,7 +488,7 @@ fn bucket_onto(ages: &[(f64, f64)], refs: &[f64]) -> Vec<(f64, f64)> {
 /// Ages at least this many grid time-spans old are folded into the
 /// combined Chebyshev interpolant instead of being evaluated exactly at
 /// every grid cell — see [`FarFit`].
-const FAR_AGE_SPANS: f64 = 4.0;
+const FAR_AGE_SPANS: f64 = 2.0;
 
 /// Chebyshev-Gauss interpolation points (degree `CHEB_POINTS − 1`).
 const CHEB_POINTS: usize = 8;
@@ -491,14 +496,15 @@ const CHEB_POINTS: usize = 8;
 /// Combined log-survival of all "far" age groups, `Σⱼ cⱼ·ln S(τⱼ + t)`,
 /// as one degree-7 Chebyshev interpolant over `t ∈ [0, t_span]`.
 ///
-/// For `τ ≥ 4·t_span` the nearest singularity of `ln S(τ + ·)` (at
-/// `t = −τ`) is far outside the Bernstein ellipse of the fit interval, so
-/// the interpolation error is below ~1e-9 of the per-processor
-/// log-survival — orders of magnitude under the §3.3 state-compression
-/// error the policy already tolerates. For Exponential failures `ln S` is
-/// linear in `t` and the fit is exact. Summing the node values *before*
-/// taking coefficients collapses any number of far groups into a single
-/// polynomial, making the grid fill O(near ages + 1) per cell.
+/// For `τ ≥ 2·t_span` the nearest singularity of `ln S(τ + ·)` (at
+/// `t = −τ`) maps to `s ≤ −5` on the fit's `[−1, 1]` axis, a Bernstein
+/// radius `ρ = 5 + √24 ≈ 9.9`, so the degree-7 interpolation error is
+/// ~`ρ⁻⁸ ≈ 1e-8` of the per-processor log-survival — orders of
+/// magnitude under the §3.3 state-compression error the policy already
+/// tolerates. For Exponential failures `ln S` is linear in `t` and the
+/// fit is exact. Summing the node values *before* taking coefficients
+/// collapses any number of far groups into a single polynomial, making
+/// the grid fill O(near ages + 1) per cell.
 struct FarFit {
     coef: [f64; CHEB_POINTS],
     t_span: f64,
@@ -560,6 +566,33 @@ impl FarFit {
         Some(FarFit { coef, t_span })
     }
 
+    /// Lane-wise Clenshaw: four grid cells per call, each lane running
+    /// exactly the scalar [`eval`](Self::eval) operation sequence (no
+    /// cross-lane reassociation), so the chunked triangle fill below is
+    /// bit-identical to a cell-at-a-time loop while the recurrence runs
+    /// 4-wide.
+    #[inline]
+    fn eval4(&self, t: ckpt_math::simd::F64x4) -> ckpt_math::simd::F64x4 {
+        use ckpt_math::simd::F64x4;
+        // Same per-lane expression as `eval`: `(2·t)/span − 1`, not a
+        // reciprocal multiply — the bits must match the scalar tail.
+        let s = F64x4([
+            2.0 * t.0[0] / self.t_span - 1.0,
+            2.0 * t.0[1] / self.t_span - 1.0,
+            2.0 * t.0[2] / self.t_span - 1.0,
+            2.0 * t.0[3] / self.t_span - 1.0,
+        ]);
+        let s2 = F64x4::splat(2.0) * s;
+        let mut b1 = F64x4::splat(0.0);
+        let mut b2 = F64x4::splat(0.0);
+        for j in (1..CHEB_POINTS).rev() {
+            let b0 = F64x4::splat(self.coef[j]) + s2 * b1 - b2;
+            b2 = b1;
+            b1 = b0;
+        }
+        F64x4::splat(self.coef[0]) + s * b1 - b2
+    }
+
     /// Clenshaw evaluation at `t ∈ [0, t_span]`.
     #[inline]
     fn eval(&self, t: f64) -> f64 {
@@ -576,18 +609,51 @@ impl FarFit {
     }
 }
 
+/// Chunk-depth cap of the value recursion: `V(·, n) ≡ 0` for
+/// `n ≥ value_chunk_cap(x_max)`, and the `G`/`E` triangles stop at
+/// `m = value_chunk_cap`. The quantum is sized so optimal chunks span
+/// ~[`QUANTA_PER_CHUNK`] quanta, and measured plan depths stay below
+/// `0.4·x_max` across the repo's cells (Weibull petascale: ≤ 78 chunks
+/// at `x_max = 256`; LANL log-based: ≤ 21 at `x_max = 55` — see the
+/// `dp.plan_chunks` histogram), so `max(x_max/2, 32)` keeps ≥ 1.5×
+/// headroom while cutting the triangle, the kernel rows, the `E` grid,
+/// and the DP table by ~25% on large windows. A plan that would walk
+/// past the cap flushes its remaining quanta as one final chunk
+/// (`dp.plan_cap_flushes`, zero on every cell we run).
+fn value_chunk_cap(x_max: usize) -> usize {
+    (x_max / 2).max(32)
+}
+
 /// Length of the packed `(a, m)` triangle for a given `x_max`: row `a`
-/// holds `m = 0..=a+1`, i.e. `a + 2` entries, rows concatenated in
-/// ascending `a`.
+/// holds `m = 0..=min(a+1, cap)`, rows concatenated in ascending `a`,
+/// with `cap = value_chunk_cap(x_max)`.
 fn triangle_len(x_max: usize) -> usize {
-    (x_max + 1) * (x_max + 4) / 2
+    let cap = value_chunk_cap(x_max);
+    if x_max < cap {
+        (x_max + 1) * (x_max + 4) / 2
+    } else {
+        // Rows `a < cap` are full (`a + 2` cells); rows `a ≥ cap` hold
+        // `cap + 1` cells each.
+        cap * (cap + 3) / 2 + (x_max + 1 - cap) * (cap + 1)
+    }
+}
+
+/// Start offset of packed-triangle row `a` (see [`triangle_len`]).
+#[inline]
+fn tri_row_start(a: usize, cap: usize) -> usize {
+    if a <= cap {
+        a * (a + 3) / 2
+    } else {
+        cap * (cap + 3) / 2 + (a - cap) * (cap + 1)
+    }
 }
 
 /// One age bucket's exact log-survival over the DP triangle, in packed
 /// triangle order: `row[·] = ln S(τ + a·u + m·C)` for `a = 0..=x_max`,
-/// `m = 0..=a+1`. The arithmetic (`t = a·u + m·C` first, then `τ + t`)
-/// matches the grid fill exactly, so accumulating cached rows is
-/// bit-identical to evaluating in place.
+/// `m = 0..=min(a+1, cap)`. The arithmetic (`t = a·u + m·C` first, then
+/// `τ + t`) matches the inline grid fill exactly, and both paths evaluate
+/// through [`FailureDistribution::log_survival_batch`], so accumulating
+/// cached rows is bit-identical to evaluating in place.
 fn compute_row(
     dist: &dyn FailureDistribution,
     tau: f64,
@@ -595,15 +661,31 @@ fn compute_row(
     u: f64,
     checkpoint: f64,
 ) -> Arc<[f64]> {
-    let mut row = Vec::with_capacity(triangle_len(x_max));
-    for a in 0..=x_max {
-        let au = a as f64 * u;
-        for m in 0..=a + 1 {
-            let t = au + m as f64 * checkpoint;
-            row.push(dist.log_survival(tau + t));
-        }
+    let len = triangle_len(x_max);
+    let mut ts = Vec::with_capacity(len);
+    fill_triangle_times(&mut ts, tau, x_max, u, checkpoint);
+    let mut row = vec![0.0f64; len];
+    dist.log_survival_batch(&ts, &mut row);
+    if ckpt_obs::active() {
+        ckpt_obs::counter_add("dp.cold_row_batch_cells", len as u64);
     }
     row.into()
+}
+
+/// Fill `ts` with the triangle's absolute query times `τ + a·u + m·C` in
+/// packed order — the one shared construction both the cached row build
+/// and the inline sweep use, so their inputs are the same bits.
+fn fill_triangle_times(ts: &mut Vec<f64>, tau: f64, x_max: usize, u: f64, checkpoint: f64) {
+    let cap = value_chunk_cap(x_max);
+    ts.clear();
+    ts.reserve(triangle_len(x_max));
+    for a in 0..=x_max {
+        let au = a as f64 * u;
+        for m in 0..=(a + 1).min(cap) {
+            let t = au + m as f64 * checkpoint;
+            ts.push(tau + t);
+        }
+    }
 }
 
 /// Bottom-up DP solve. Returns the chunk sizes (work seconds) in execution
@@ -638,12 +720,15 @@ fn solve_with_rows(
     // because the final chunk still pays its checkpoint. Reachable states
     // have n ≤ x_max − x = a and transitions read (a, n) and (a+i, n+1)
     // with i ≥ 1, so only the triangular region m ≤ a + 1 is ever
-    // consulted — the upper half of the grid is never filled.
+    // consulted — the upper half of the grid is never filled — and the
+    // value recursion is truncated at `m_cap` chunks (see
+    // [`value_chunk_cap`]), bounding `m` at `m_cap` too.
     // Both grids are stored m-major (`[m][a]`) so the DP inner loop below,
     // which scans `i` at fixed `n`, touches consecutive memory instead of
     // striding a cache line per iteration.
-    let m_max = x_max + 1;
-    let t_span = x_max as f64 * u + (m_max + 1) as f64 * checkpoint;
+    let m_cap = value_chunk_cap(x_max);
+    let m_top = (x_max + 1).min(m_cap);
+    let t_span = x_max as f64 * u + (m_top + 1) as f64 * checkpoint;
     let mut near: Vec<(usize, f64, f64)> = Vec::with_capacity(ages.len());
     let far = FarFit::build(dist, ages, t_span, &mut near);
     // The triangle is accumulated in a packed scratch first — far-fit
@@ -653,7 +738,7 @@ fn solve_with_rows(
     // float operations in the same order as a cell-at-a-time fill.
     SOLVE_SCRATCH.with(|cell| {
     let mut scratch = cell.borrow_mut();
-    let SolveScratch { tri, egrid, value, choice, hull } = &mut *scratch;
+    let SolveScratch { tri, etri, ts, row, egrid, value, choice, hull } = &mut *scratch;
     // Solver-internals telemetry: plain locals on the solve path (flushed
     // once per solve, only while an obs session records), so the float
     // work and its ordering are untouched.
@@ -661,84 +746,114 @@ fn solve_with_rows(
     let mut hull_lines: u64 = 0;
     let mut hull_advances: u64 = 0;
     let mut log_domain_states: u64 = 0;
+    let mut sweep_groups: u64 = 0;
     tri.clear();
     tri.resize(triangle_len(x_max), 0.0);
     if let Some(fit) = &far {
+        // 4 cells per Clenshaw call ([`FarFit::eval4`]); the tail of each
+        // triangle row falls back to the scalar `eval`, whose per-element
+        // operations the lane version reproduces exactly.
+        const LANES: usize = ckpt_math::simd::LANES;
         let mut i = 0usize;
         for a in 0..=x_max {
             let au = a as f64 * u;
-            for m in 0..=a + 1 {
-                let t = au + m as f64 * checkpoint;
-                tri[i] = fit.eval(t);
+            let len = (a + 2).min(m_cap + 1);
+            let mut m = 0usize;
+            while m + LANES <= len {
+                let t = ckpt_math::simd::F64x4([
+                    au + m as f64 * checkpoint,
+                    au + (m + 1) as f64 * checkpoint,
+                    au + (m + 2) as f64 * checkpoint,
+                    au + (m + 3) as f64 * checkpoint,
+                ]);
+                fit.eval4(t).write_to(&mut tri[i..]);
+                m += LANES;
+                i += LANES;
+            }
+            while m < len {
+                tri[i] = fit.eval(au + m as f64 * checkpoint);
+                m += 1;
                 i += 1;
             }
         }
     }
     match rows {
         Some(rows) => {
-            // Fused pairs: one read-modify-write sweep of the triangle
-            // covers two cached rows. Per element the additions happen in
-            // the same order as two single-row passes — bit-identical —
-            // but the triangle's memory traffic halves, which is what
-            // bounds this loop (rows and triangle far exceed L2).
+            // Fused lane-width groups: one read-modify-write sweep of the
+            // triangle covers up to LANES cached rows through the
+            // explicit `f64x4` kernel. Per element the additions happen
+            // in row-index order — the same order as sequential
+            // single-row passes, so grouping is bit-invariant — but the
+            // triangle's memory traffic drops by the group width, which
+            // is what bounds this loop (rows and triangle far exceed L2).
+            const LANES: usize = ckpt_math::simd::LANES;
             let mut k = 0usize;
-            while k + 1 < near.len() {
-                let (idx0, _, c0) = near[k];
-                let (idx1, _, c1) = near[k + 1];
-                let row0 = rows(idx0);
-                let row1 = rows(idx1);
-                debug_assert_eq!(row0.len(), tri.len(), "row/triangle shape mismatch");
-                debug_assert_eq!(row1.len(), tri.len(), "row/triangle shape mismatch");
-                for ((acc, &v0), &v1) in tri.iter_mut().zip(row0.iter()).zip(row1.iter()) {
-                    let mut g = *acc;
-                    g += c0 * v0;
-                    g += c1 * v1;
-                    *acc = g;
+            while k < near.len() {
+                let g = (near.len() - k).min(LANES);
+                let mut held: [Option<Arc<[f64]>>; LANES] = [const { None }; LANES];
+                for (slot, h) in held.iter_mut().enumerate().take(g) {
+                    *h = Some(rows(near[k + slot].0));
                 }
-                k += 2;
-            }
-            if let Some(&(idx, _, c)) = near.get(k) {
-                let row = rows(idx);
-                debug_assert_eq!(row.len(), tri.len(), "row/triangle shape mismatch");
-                for (acc, &v) in tri.iter_mut().zip(row.iter()) {
-                    *acc += c * v;
+                let mut group: [(&[f64], f64); LANES] = [(&[], 0.0); LANES];
+                for (slot, entry) in group.iter_mut().enumerate().take(g) {
+                    let row: &[f64] = held[slot].as_deref().unwrap_or(&[]);
+                    debug_assert_eq!(row.len(), tri.len(), "row/triangle shape mismatch");
+                    *entry = (row, near[k + slot].2);
                 }
+                ckpt_math::simd::accumulate_scaled_rows(tri, &group[..g]);
+                sweep_groups += 1;
+                k += g;
             }
         }
         None => {
+            // Inline build: materialise each near row with the same
+            // batched evaluation the cached path uses (same query times,
+            // same family batch kernel), then accumulate through the same
+            // sweep kernel — so supplying cached rows or none produces
+            // identical bits.
             for &(_, tau, c) in &near {
-                let mut i = 0usize;
-                for a in 0..=x_max {
-                    let au = a as f64 * u;
-                    for m in 0..=a + 1 {
-                        let t = au + m as f64 * checkpoint;
-                        tri[i] += c * dist.log_survival(tau + t);
-                        i += 1;
-                    }
-                }
+                fill_triangle_times(ts, tau, x_max, u, checkpoint);
+                row.resize(ts.len(), 0.0);
+                dist.log_survival_batch(ts, row);
+                ckpt_math::simd::accumulate_scaled_rows(tri, &[(row, c)]);
+                sweep_groups += 1;
             }
         }
     }
     // `G` stays in the packed triangle (`gg` below indexes it directly);
     // only the exponentials get the m-major layout the DP scans. Cells
     // outside the triangle are never read, so stale scratch is harmless.
-    egrid.resize((m_max + 1) * (x_max + 1), 0.0);
+    //
+    // The exponentials are taken relative to `G(0, 0) = tri[0]`, the
+    // triangle's maximum (`ln S` is non-increasing and counts are
+    // positive): `E = exp(G − G(0,0))`. The DP only ever consumes ratios
+    // `E(a', m')/E(a, m)` — one transposed-row read over one division —
+    // so the common factor cancels, while the offset keeps `E` in
+    // (0, 1] even when `exp(G)` itself underflows. Massively-parallel
+    // platforms (p ≈ 4096 LANL cells: G ≈ −8000 nats) previously
+    // underflowed *every* state into the scalar log-domain fallback;
+    // with the offset they ride the hull path. The fallback remains for
+    // windows whose G drops more than ~745 nats below G(0,0).
+    let g_off = if tri[0].is_finite() { tri[0] } else { 0.0 };
+    egrid.resize((m_top + 1) * (x_max + 1), 0.0);
+    etri.resize(tri.len(), 0.0);
+    ckpt_math::simd::exp_shifted(tri, g_off, etri);
     {
         let mut i = 0usize;
         for a in 0..=x_max {
-            for m in 0..=a + 1 {
-                egrid[m * (x_max + 1) + a] = tri[i].exp(); // lint: allow(naked-transcendental-in-hot-path) — audited log→linear conversion of an exact G row
+            for m in 0..=(a + 1).min(m_cap) {
+                egrid[m * (x_max + 1) + a] = etri[i];
                 i += 1;
             }
         }
     }
-    // Packed-triangle row `a` starts at Σ_{k<a}(k+2) = a(a+3)/2.
+    // Packed-triangle row `a` starts at [`tri_row_start`].
     let gg = |a: usize, m: usize| {
-        debug_assert!(m <= a + 1, "G({a}, {m}) outside the filled triangle");
-        tri[a * (a + 3) / 2 + m]
+        debug_assert!(m <= (a + 1).min(m_cap), "G({a}, {m}) outside the filled triangle");
+        tri[tri_row_start(a, m_cap) + m]
     };
     let ee = |a: usize, m: usize| {
-        debug_assert!(m <= a + 1, "E({a}, {m}) outside the filled triangle");
+        debug_assert!(m <= (a + 1).min(m_cap), "E({a}, {m}) outside the filled triangle");
         egrid[m * (x_max + 1) + a]
     };
 
@@ -747,10 +862,12 @@ fn solve_with_rows(
     // The transition value is `exp(G(a+i, n+1) − G(a, n)) · (i·u + succ)`.
     // The denominator `exp(G(a, n))` is constant across the inner loop, so
     // the argmax equals that of `T(i) = E(a+i, n+1)·(i·u + succ)` — no
-    // exponentials inside the loop, one division per state. When
-    // `exp(G(a, n))` underflows (survival below ~1e-324: pathological
-    // regimes) the ratio form is still meaningful, so a log-domain
-    // fallback loop handles those states exactly.
+    // exponentials inside the loop, one division per state; the common
+    // `exp(−G(0,0))` offset factor in `E` cancels in the division. When
+    // `E(a, n)` still underflows (the state's G more than ~745 nats
+    // below G(0,0)) the ratio form stays meaningful, so a log-domain
+    // fallback loop handles those states exactly from the unoffset
+    // triangle.
     // `value`/`choice` are n-major (`[n][x]`) for the same contiguity
     // reason: the hull below reads `value[n+1][j]` with ascending `j`.
     //
@@ -767,17 +884,20 @@ fn solve_with_rows(
     // (smaller `j` = bigger chunk), matching the direct loop's
     // tie-to-larger-`i` rule.
     let stride = x_max + 1;
-    // Column 0 of every row is the V(0, ·) = 0 base case and row `x_max`
-    // is read (at column 0 only) before any write reaches it, so the
-    // whole buffer is re-zeroed on reuse. `choice` is only ever read at
-    // states the backward pass wrote this solve, so its stale contents
-    // don't matter.
+    // Chunk depths `n ≥ n_cap` are truncated: the deepest computed
+    // column reads `V(·, n_cap) = 0`, which the zeroed resize provides.
+    let n_cap = x_max.min(m_cap);
+    // Column 0 of every row is the V(0, ·) = 0 base case and the row at
+    // `n_cap` is read before any write reaches it, so the whole buffer
+    // is re-zeroed on reuse. `choice` is only ever read at states the
+    // backward pass wrote this solve, so its stale contents don't
+    // matter.
     value.clear();
-    value.resize(stride * stride, 0.0);
-    choice.resize(stride * stride, 0);
+    value.resize((n_cap + 1) * stride, 0.0);
+    choice.resize((n_cap + 1) * stride, 0);
     // (slope, intercept, j) lines of the current column's hull.
     hull.clear();
-    for n in (0..x_max).rev() {
+    for n in (0..n_cap).rev() {
         let x_hi = x_max - n;
         let erow = &egrid[(n + 1) * stride..(n + 2) * stride];
         // Rows n (written) and n+1 (read) are disjoint.
@@ -848,8 +968,9 @@ fn solve_with_rows(
                 vcur[n * stride + x] = (q0 + r0 * z) / e_base;
                 choice[n * stride + x] = x as u32 - j0;
             } else {
-                // exp(G(a, n)) underflowed (survival below ~1e-324):
-                // fall back to the exact log-domain ratio form.
+                // exp(G(a, n) − G(0,0)) underflowed (state survival more
+                // than ~745 nats below the window's start): fall back to
+                // the exact log-domain ratio form on the unoffset G.
                 log_domain_states += 1;
                 let base = gg(a, n);
                 let mut best = f64::NEG_INFINITY;
@@ -875,7 +996,16 @@ fn solve_with_rows(
     let mut chunks = Vec::new();
     let mut x = x_max;
     let mut n = 0usize;
+    let mut cap_flushes: u64 = 0;
     while x > 0 {
+        if n >= n_cap {
+            // Past the truncated value recursion (no plan on our cells
+            // gets here — the cap keeps ≥1.5× headroom over measured
+            // depths): flush the remainder as one final chunk.
+            cap_flushes += 1;
+            chunks.push(x as f64 * u);
+            break;
+        }
         let i = choice[n * stride + x] as usize;
         chunks.push(i as f64 * u);
         x -= i;
@@ -884,10 +1014,12 @@ fn solve_with_rows(
     if ckpt_obs::active() {
         ckpt_obs::counter_add("dp.solves", 1);
         ckpt_obs::counter_add("dp.near_row_sweeps", near.len() as u64);
+        ckpt_obs::counter_add("dp.sweep_groups", sweep_groups);
         ckpt_obs::counter_add("dp.far_fits", u64::from(far.is_some()));
         ckpt_obs::counter_add("dp.hull_lines", hull_lines);
         ckpt_obs::counter_add("dp.hull_advances", hull_advances);
         ckpt_obs::counter_add("dp.log_domain_states", log_domain_states);
+        ckpt_obs::counter_add("dp.plan_cap_flushes", cap_flushes);
         ckpt_obs::counter_add("dp.scratch_reuses", u64::from(scratch_reused));
         ckpt_obs::histogram_record("dp.x_max", x_max as f64);
         ckpt_obs::histogram_record("dp.plan_chunks", chunks.len() as f64);
@@ -903,6 +1035,13 @@ fn solve_with_rows(
 #[derive(Default)]
 struct SolveScratch {
     tri: Vec<f64>,
+    /// `exp(tri − G(0,0))` in packed triangle order, before the m-major
+    /// scatter.
+    etri: Vec<f64>,
+    /// Triangle query times of the inline (row-less) build.
+    ts: Vec<f64>,
+    /// One materialised log-survival row of the inline build.
+    row: Vec<f64>,
     egrid: Vec<f64>,
     value: Vec<f64>,
     choice: Vec<u32>,

@@ -93,6 +93,11 @@ pub struct PlanKey {
     pub truncated: bool,
     /// Whether the policy keeps only the first half of truncated plans.
     pub half_schedule: bool,
+    /// SIMD lane width of the solver build (`ckpt_math::simd::LANES`).
+    /// The vectorised row/exp kernels are pinned per lane width; keying
+    /// it keeps any future width change from mixing FP paths in shared
+    /// cache entries.
+    pub lanes: u32,
     /// Quantised age state: `(geometric bucket id, processor count)`.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -111,6 +116,8 @@ pub struct KernelRowKey {
     pub checkpoint_bits: u64,
     /// Quantum count (fixes the triangle extent).
     pub x_max: u32,
+    /// SIMD lane width of the batched row build (see [`PlanKey::lanes`]).
+    pub lanes: u32,
     /// Geometric age bucket id.
     pub bucket: u64,
 }

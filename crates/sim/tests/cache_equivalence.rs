@@ -105,6 +105,7 @@ fn contended_sharded_cache_counters_stay_consistent() {
         u_bits: (3600.0f64 + (k / 4) as f64).to_bits(),
         checkpoint_bits: 600.0f64.to_bits(),
         x_max: 256,
+        lanes: ckpt_math::simd::LANES as u32,
         bucket: k % 37,
     };
 

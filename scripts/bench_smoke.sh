@@ -30,6 +30,12 @@ echo "== golden drift gate =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q -p ckpt-exp --bin gen_golden "$tmp" 2>/dev/null
+# The gate is a set equality, not just a per-file compare: a golden cell
+# that gen_golden stops (or starts) emitting is drift too.
+if ! diff <(cd results/golden && ls ./*.json) <(cd "$tmp" && ls ./*.json) >&2; then
+  echo "GOLDEN DRIFT: generated golden file set differs from committed results/golden/" >&2
+  exit 1
+fi
 for f in results/golden/*.json; do
   if ! cmp -s "$f" "$tmp/$(basename "$f")"; then
     echo "GOLDEN DRIFT: $(basename "$f") differs from committed results/golden/" >&2
