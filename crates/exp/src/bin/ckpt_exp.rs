@@ -18,6 +18,26 @@
 //!             [--mtbf-years Y] [--weibull] [--exa] [--procs P]
 //!   all       every table & figure at the given trace count
 //! ```
+//!
+//! Durable studies (checkpointed, kill-safe, resumable):
+//!
+//! ```text
+//! ckpt-exp run --study golden|bench [--id ID] [--resume ID]
+//!              [--traces N] [--study-root DIR] [--checkpoint-items N]
+//!              [--checkpoint-secs S] [--trace-block B] [--max-checkpoints N]
+//!              [--kill-at FRAC] [--prewarm] [--no-checkpoint]
+//! ckpt-exp study ls [--study-root DIR]
+//! ckpt-exp study gc [--study-root DIR] [--max-checkpoints N] [--purge ID]
+//! ```
+//!
+//! `run` executes a study through the checkpoint store under
+//! `<study-root>/<id>/`, writing a durable manifest plus periodic
+//! snapshots; `--resume ID` continues a killed run from its newest
+//! snapshot (stale stores are rejected by fingerprint). `--kill-at 0.5`
+//! SIGKILLs the process mid-sweep (for testing the resume path),
+//! `--no-checkpoint` runs the plain in-memory study and leaves the
+//! store untouched. Exit codes: 0 on success, 1 when any cell or
+//! prewarm failed, 2 on store errors (stale fingerprint, bad id).
 
 use ckpt_exp::experiments as ex;
 use ckpt_exp::output::{csv_series, markdown_table, CSV_HEADER};
@@ -107,7 +127,256 @@ fn parallelism_from(label: &str) -> ParallelismModel {
     }
 }
 
+/// Arguments of the `run` subcommand (durable studies).
+struct RunArgs {
+    study: String,
+    id: Option<String>,
+    resume: Option<String>,
+    traces: Option<usize>,
+    root: PathBuf,
+    checkpoint_items: u64,
+    checkpoint_secs: f64,
+    trace_block: usize,
+    max_checkpoints: usize,
+    kill_at: Option<f64>,
+    prewarm: bool,
+    no_checkpoint: bool,
+}
+
+fn parse_run_args(rest: &[String]) -> RunArgs {
+    let mut args = RunArgs {
+        study: "golden".into(),
+        id: None,
+        resume: None,
+        traces: None,
+        root: PathBuf::from("results/study"),
+        checkpoint_items: 64,
+        checkpoint_secs: 30.0,
+        trace_block: 4,
+        max_checkpoints: 3,
+        kill_at: None,
+        prewarm: false,
+        no_checkpoint: false,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{what}")).clone();
+        match a.as_str() {
+            "--study" => args.study = next("--study golden|bench"),
+            "--id" => args.id = Some(next("--id ID")),
+            "--resume" => args.resume = Some(next("--resume ID")),
+            "--traces" => args.traces = Some(next("--traces N").parse().expect("number")),
+            "--study-root" => args.root = PathBuf::from(next("--study-root DIR")),
+            "--checkpoint-items" => {
+                args.checkpoint_items = next("--checkpoint-items N").parse().expect("number")
+            }
+            "--checkpoint-secs" => {
+                args.checkpoint_secs = next("--checkpoint-secs S").parse().expect("number")
+            }
+            "--trace-block" => {
+                args.trace_block = next("--trace-block B").parse().expect("number")
+            }
+            "--max-checkpoints" => {
+                args.max_checkpoints = next("--max-checkpoints N").parse().expect("number")
+            }
+            "--kill-at" => args.kill_at = Some(next("--kill-at FRAC").parse().expect("number")),
+            "--prewarm" => args.prewarm = true,
+            "--no-checkpoint" => args.no_checkpoint = true,
+            other => panic!("unknown `run` argument {other}"),
+        }
+    }
+    args
+}
+
+/// The named studies `run` knows how to build. `golden` is the pinned
+/// golden-cell set (fixed trace counts, byte-comparable against
+/// `results/golden/`); `bench` is the Petascale bench cell at a chosen
+/// trace count.
+fn study_def(name: &str, id: &str, traces: Option<usize>) -> ckpt_exp::StudyDef {
+    match name {
+        "golden" => ckpt_exp::StudyDef::new(
+            id,
+            ckpt_exp::golden::golden_cells()
+                .into_iter()
+                .map(|(_, sc, kinds, options)| (sc, kinds, options)),
+        ),
+        "bench" => {
+            let year = 365.25 * 86_400.0;
+            let sc = ckpt_exp::Scenario::petascale(
+                ckpt_exp::DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * year },
+                1 << 8,
+                traces.unwrap_or(12),
+            );
+            let kinds = PolicyKind::paper_roster(false);
+            ckpt_exp::StudyDef::new(id, [(sc, kinds, ckpt_exp::RunnerOptions::default())])
+        }
+        other => {
+            eprintln!("unknown study `{other}`; known: golden, bench");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run(rest: &[String]) -> i32 {
+    let args = parse_run_args(rest);
+    let id = args
+        .resume
+        .clone()
+        .or_else(|| args.id.clone())
+        .unwrap_or_else(|| args.study.clone());
+    let def = study_def(&args.study, &id, args.traces);
+
+    if args.prewarm {
+        // Per-cell rosters: prewarm each cell through a study configured
+        // with exactly its roster and options. Failures are labeled
+        // (`Error::Cell`), counted on `study.prewarm_errors`, and turn
+        // into exit code 1.
+        let mut failed = false;
+        for cell in &def.cells {
+            let warm = ckpt_exp::Study::new()
+                .with_kinds(cell.kinds.clone())
+                .with_options(cell.options.clone())
+                .prewarm(std::slice::from_ref(&cell.scenario))
+                .remove(0);
+            match warm {
+                Ok(()) => eprintln!("prewarmed {}", cell.stem),
+                Err(e) => {
+                    eprintln!("prewarm failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return 1;
+        }
+    }
+
+    if args.no_checkpoint {
+        // Plain in-memory study: the checkpoint store is not touched.
+        let mut exit = 0;
+        for cell in &def.cells {
+            let study = ckpt_exp::Study::new()
+                .with_kinds(cell.kinds.clone())
+                .with_options(cell.options.clone());
+            match study.run_all(std::slice::from_ref(&cell.scenario)).remove(0) {
+                Ok(r) => println!("{}: ok ({} rows)", cell.stem, r.outcomes.len()),
+                Err(e) => {
+                    eprintln!("{}: {e}", cell.stem);
+                    exit = 1;
+                }
+            }
+        }
+        return exit;
+    }
+
+    let config = ckpt_exp::CheckpointConfig {
+        root: args.root.clone(),
+        interval_items: args.checkpoint_items,
+        interval_seconds: args.checkpoint_secs,
+        max_checkpoints: args.max_checkpoints,
+        trace_block: args.trace_block,
+        golden_dir: Some(PathBuf::from("results/golden")),
+        kill_at: args.kill_at,
+        ..ckpt_exp::CheckpointConfig::default()
+    };
+    match ckpt_exp::run_study(&def, &config, args.resume.is_some()) {
+        Ok(ckpt_exp::StudyOutcome::Complete(report)) => {
+            eprintln!(
+                "study {}: {} items ({} resumed, {} executed), {} checkpoint(s)",
+                report.id,
+                report.items_total,
+                report.items_resumed,
+                report.items_executed,
+                report.checkpoints_written
+            );
+            let mut exit = 0;
+            for (stem, result) in &report.results {
+                match result {
+                    Ok(r) => println!("{stem}: ok ({} rows)", r.outcomes.len()),
+                    Err(e) => {
+                        eprintln!("{stem}: {e}");
+                        exit = 1;
+                    }
+                }
+            }
+            exit
+        }
+        Ok(ckpt_exp::StudyOutcome::Stopped { completed, total }) => {
+            eprintln!("study stopped at {completed}/{total} items");
+            1
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
+}
+
+fn cmd_study(rest: &[String]) -> i32 {
+    let mut root = PathBuf::from("results/study");
+    let mut max_checkpoints: usize = 3;
+    let mut purge: Option<String> = None;
+    let action = match rest.first().map(String::as_str) {
+        Some(a @ ("ls" | "gc")) => a.to_string(),
+        _ => {
+            eprintln!("usage: ckpt-exp study <ls|gc> [--study-root DIR] [--max-checkpoints N] [--purge ID]");
+            return 2;
+        }
+    };
+    let mut it = rest[1..].iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{what}")).clone();
+        match a.as_str() {
+            "--study-root" => root = PathBuf::from(next("--study-root DIR")),
+            "--max-checkpoints" => {
+                max_checkpoints = next("--max-checkpoints N").parse().expect("number")
+            }
+            "--purge" => purge = Some(next("--purge ID")),
+            other => panic!("unknown `study` argument {other}"),
+        }
+    }
+    match action.as_str() {
+        "ls" => {
+            let studies = ckpt_exp::checkpoint::list_studies(&root);
+            if studies.is_empty() {
+                println!("no studies under {}", root.display());
+                return 0;
+            }
+            println!("{:<24} {:>8} {:>12} {:>12} status", "id", "items", "checkpoints", "aggregates");
+            for s in studies {
+                println!(
+                    "{:<24} {:>8} {:>12} {:>12} {}",
+                    s.id, s.items, s.checkpoints, s.aggregates, s.status
+                );
+            }
+            0
+        }
+        _ => match ckpt_exp::checkpoint::gc_studies(&root, max_checkpoints, purge.as_deref()) {
+            Ok(actions) => {
+                if actions.is_empty() {
+                    println!("nothing to do");
+                } else {
+                    for a in actions {
+                        println!("{a}");
+                    }
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        },
+    }
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("run") => std::process::exit(cmd_run(&raw[1..])),
+        Some("study") => std::process::exit(cmd_study(&raw[1..])),
+        _ => {}
+    }
     let args = parse_args();
     let t = args.traces;
     match args.experiment.as_str() {

@@ -1,0 +1,1639 @@
+//! Durable, resumable study execution: the checkpointed counterpart of
+//! [`Study::run_all`](crate::study::Study::run_all).
+//!
+//! The in-memory pipeline (`Scenario → SimPlan → ExecOutput →
+//! ScenarioResult`) becomes a restartable state machine in three parts:
+//!
+//! * a **manifest** — the full study decomposed into typed
+//!   [`WorkItem`]s (cell × policy × trace-block, plus lower-bound,
+//!   candidate and refine items), persisted once per study with a
+//!   content **fingerprint** over everything the numbers depend on
+//!   (scenario labels, [`DistId`](ckpt_policies::DistId)s, rosters,
+//!   runner options, the SIMD lane width, the committed golden hash).
+//!   A resume whose rebuilt fingerprint differs is *rejected*, never
+//!   silently reused;
+//! * a **checkpoint store** — versioned JSON snapshots under
+//!   `<root>/<id>/ckpt-NNNNNN.json`, each holding every completed
+//!   item's payload (floats as exact `u64` bit patterns). Written every
+//!   `interval_items` completed items *or* `interval_seconds` seconds —
+//!   the latter read through the one sanctioned clock in
+//!   [`ckpt_obs::clock`] — with retention (`max_checkpoints`,
+//!   `keep_final`). Snapshots are full-state, so "move in-progress
+//!   items back to pending" is implicit: pending = manifest − snapshot;
+//! * a **commit layer** ([`crate::reduce::commit`]) that folds the
+//!   per-item payloads in task-ID order — regardless of the order items
+//!   completed in, before or after any number of kills — reconstructing
+//!   the exact [`ExecOutput`](crate::exec::ExecOutput) arithmetic of
+//!   the live executor. A SIGKILL'd-and-resumed study therefore writes
+//!   byte-identical aggregates to an uninterrupted run, at any rayon
+//!   thread count (`tests/study_resume.rs` pins this).
+//!
+//! Nothing in this module ever stores a wall-clock timestamp: the clock
+//! gates *when* a snapshot is written, never *what* is written.
+
+use crate::error::Error;
+use crate::plan::{self, plan_scenario, SimPlan};
+use crate::policies_spec::PolicyKind;
+use crate::runner::{RunnerOptions, ScenarioResult};
+use crate::scenario::{BuiltDist, Scenario};
+use crate::{cache::TraceCache, jsonio, jsonio::Json};
+use ckpt_policies::DistId;
+use ckpt_sim::{lower_bound_makespan, RunStats};
+use ckpt_workload::JobSpec;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version of manifests and checkpoints. A snapshot from
+/// any other version is rejected on resume.
+pub const STORE_VERSION: u64 = 1;
+
+/// Items per rayon chunk of the run loop. Chunks execute strictly in
+/// item-id order; a checkpoint can be cut after any chunk.
+const CHUNK_ITEMS: usize = 8;
+
+/// Knobs of the checkpoint store and run loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Store root; each study lives under `<root>/<id>/`.
+    pub root: PathBuf,
+    /// Write a checkpoint after this many newly completed items.
+    pub interval_items: u64,
+    /// … or after this many seconds since the last write, whichever
+    /// comes first (read through the sanctioned `ckpt_obs` clock).
+    pub interval_seconds: f64,
+    /// Keep at most this many checkpoint files (newest win).
+    pub max_checkpoints: usize,
+    /// Keep the final snapshot after the study completes; `false`
+    /// removes every `ckpt-*.json` once the aggregates are written.
+    pub keep_final: bool,
+    /// Traces per work item (the "trace-block" of the manifest).
+    pub trace_block: usize,
+    /// Directory of committed golden files to fold into the manifest
+    /// fingerprint (`None` ⇒ a zero golden hash).
+    pub golden_dir: Option<PathBuf>,
+    /// Test hook: abort the run loop (no status, no checkpoint — as if
+    /// killed between snapshots) once this many items executed.
+    pub stop_after_items: Option<u64>,
+    /// CLI hook: SIGKILL our own process once `completed ≥ frac·total`,
+    /// *before* the snapshot that would cover those items.
+    pub kill_at: Option<f64>,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            root: PathBuf::from("results/study"),
+            interval_items: 64,
+            interval_seconds: 30.0,
+            max_checkpoints: 3,
+            keep_final: true,
+            trace_block: 4,
+            golden_dir: None,
+            stop_after_items: None,
+            kill_at: None,
+        }
+    }
+}
+
+/// One cell of a study: a scenario with its roster and runner options,
+/// plus the (unique) stem its aggregate file is written under.
+#[derive(Debug, Clone)]
+pub struct StudyCell {
+    /// Aggregate file stem (`aggregate/<stem>.json`), unique per study.
+    pub stem: String,
+    /// The experimental cell.
+    pub scenario: Scenario,
+    /// Roster to run on it.
+    pub kinds: Vec<PolicyKind>,
+    /// Runner options (grid, search strategy, lower bound, engine).
+    pub options: RunnerOptions,
+}
+
+/// A named, fully-specified batch of cells — the unit of durability.
+#[derive(Debug, Clone)]
+pub struct StudyDef {
+    /// Study id: the directory name under the store root.
+    pub id: String,
+    /// The cells, in commit order.
+    pub cells: Vec<StudyCell>,
+}
+
+impl StudyDef {
+    /// Build a definition from `(scenario, roster, options)` triples.
+    /// Stems default to the scenario labels; colliding labels get the
+    /// processor count and then an index appended, so every cell owns a
+    /// distinct aggregate file.
+    pub fn new(
+        id: impl Into<String>,
+        cells: impl IntoIterator<Item = (Scenario, Vec<PolicyKind>, RunnerOptions)>,
+    ) -> Self {
+        let mut out = Vec::new();
+        let mut stems: Vec<String> = Vec::new();
+        for (scenario, kinds, options) in cells {
+            let mut stem = scenario.label.clone();
+            if stems.iter().any(|s| s == &stem) {
+                stem = format!("{stem}-p{}", scenario.procs);
+            }
+            let mut n = 2usize;
+            while stems.iter().any(|s| s == &stem) {
+                stem = format!("{}-{}", scenario.label, n);
+                n += 1;
+            }
+            stems.push(stem.clone());
+            out.push(StudyCell { stem, scenario, kinds, options });
+        }
+        Self { id: id.into(), cells: out }
+    }
+}
+
+/// One deterministic unit of study work, identified entirely by indices
+/// into the manifest (so payloads rebind to items across processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Global item id; items execute in id order.
+    pub id: u64,
+    /// Index into [`StudyDef::cells`].
+    pub cell: usize,
+    /// What the item simulates.
+    pub kind: ItemKind,
+    /// First trace index covered (inclusive).
+    pub trace_lo: usize,
+    /// Last trace index covered (exclusive).
+    pub trace_hi: usize,
+}
+
+/// The simulation kind of a [`WorkItem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// Roster policy `policy` over the item's trace block.
+    Policy {
+        /// Index into the cell's roster.
+        policy: usize,
+    },
+    /// Omniscient lower bound over the trace block.
+    LowerBound,
+    /// `PeriodLB` coarse candidate `candidate` over the trace block.
+    Coarse {
+        /// Index into the cell's factor grid.
+        candidate: usize,
+    },
+    /// The refine wave: depends on every `Coarse` item of its cell
+    /// (smaller ids — the run loop's strict id order is the barrier),
+    /// fans out over (fresh candidate × trace) internally.
+    Refine,
+}
+
+/// One simulation's stats, floats as exact bit patterns. Makespans must
+/// decode finite (the store's NaN/Inf-free invariant); `chunk_min` is
+/// legitimately `+∞` when a run made no decisions, so chunk bounds are
+/// exempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStatsBits {
+    /// `RunStats::makespan` bits.
+    pub makespan: u64,
+    /// Failures hit.
+    pub failures: u64,
+    /// Decision points.
+    pub decisions: u64,
+    /// `RunStats::chunk_min` bits.
+    pub chunk_min: u64,
+    /// `RunStats::chunk_max` bits.
+    pub chunk_max: u64,
+}
+
+impl TraceStatsBits {
+    fn of(st: &RunStats) -> Self {
+        Self {
+            makespan: st.makespan.to_bits(),
+            failures: st.failures,
+            decisions: st.decisions,
+            chunk_min: st.chunk_min.to_bits(),
+            chunk_max: st.chunk_max.to_bits(),
+        }
+    }
+
+    /// The makespan as a float.
+    pub fn makespan_f64(&self) -> f64 {
+        f64::from_bits(self.makespan)
+    }
+}
+
+/// One refine-wave column: a fresh candidate's stats over all traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefineColumn {
+    /// Grid index of the candidate.
+    pub candidate: usize,
+    /// Stats in trace order, one per trace.
+    pub stats: Vec<TraceStatsBits>,
+}
+
+/// The persisted result of one completed [`WorkItem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemPayload {
+    /// A roster-policy block: build outcome plus per-trace stats
+    /// (empty when the policy could not be built for the cell).
+    Policy {
+        /// Whether the registry built the policy.
+        built: bool,
+        /// The build-failure reason (empty when `built`).
+        reason: String,
+        /// Stats in trace order over the item's block.
+        stats: Vec<TraceStatsBits>,
+    },
+    /// Lower-bound makespans (bits) in trace order over the block.
+    LowerBound {
+        /// Makespan bit patterns.
+        makespans: Vec<u64>,
+    },
+    /// A coarse candidate block.
+    Coarse {
+        /// Stats in trace order over the item's block.
+        stats: Vec<TraceStatsBits>,
+    },
+    /// The refine wave's fresh columns (possibly empty when the window
+    /// only contains already-evaluated coarse candidates).
+    Refine {
+        /// One column per fresh candidate, in grid order.
+        columns: Vec<RefineColumn>,
+    },
+    /// The cell's distribution could not be built; every item of the
+    /// cell carries the same error and the cell commits to `Err`.
+    CellFailed {
+        /// Display of the build error.
+        error: String,
+    },
+}
+
+/// One cell's identity row in the manifest — everything its numbers
+/// depend on, rendered to stable strings for fingerprinting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestCell {
+    /// Scenario label (the seed root).
+    pub label: String,
+    /// Aggregate file stem.
+    pub stem: String,
+    /// Processor count.
+    pub procs: u64,
+    /// Trace count.
+    pub traces: usize,
+    /// Distribution identity: `fp:…` fingerprint when the distribution
+    /// is fingerprintable, else the spec label (process-local instance
+    /// ids must never be persisted).
+    pub dist_id: String,
+    /// Roster, as `Debug` strings (config fields included).
+    pub roster: Vec<String>,
+    /// Runner options, as a `Debug` string (grid floats included).
+    pub options: String,
+    /// Candidate grid length after dedup.
+    pub grid_len: usize,
+    /// Coarse-wave grid indices.
+    pub coarse: Vec<usize>,
+    /// Refine stride; `0` ⇒ no refine wave.
+    pub refine_step: usize,
+    /// Whether lower-bound items exist.
+    pub lower_bound: bool,
+}
+
+/// The persisted decomposition of a study, with its content fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyManifest {
+    /// Format version ([`STORE_VERSION`]).
+    pub version: u64,
+    /// Study id.
+    pub study: String,
+    /// FNV-1a 64 over the manifest serialised with this field empty,
+    /// as 16 hex digits.
+    pub fingerprint: String,
+    /// SIMD lane width the kernels were compiled for.
+    pub lanes: usize,
+    /// Traces per work item.
+    pub trace_block: usize,
+    /// FNV-1a 64 over the committed golden files (16 hex digits;
+    /// all-zero when no golden directory was configured).
+    pub golden_hash: String,
+    /// Per-cell identity rows.
+    pub cells: Vec<ManifestCell>,
+    /// Every work item, in execution (id) order.
+    pub items: Vec<WorkItem>,
+}
+
+/// What a completed (sub)study reports back.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Study id.
+    pub id: String,
+    /// `(stem, result)` per cell, in definition order.
+    pub results: Vec<(String, Result<ScenarioResult, Error>)>,
+    /// Items in the manifest.
+    pub items_total: u64,
+    /// Items restored from the resumed checkpoint.
+    pub items_resumed: u64,
+    /// Items executed by this process.
+    pub items_executed: u64,
+    /// Checkpoints written by this process.
+    pub checkpoints_written: u64,
+}
+
+/// Outcome of [`run_study`].
+#[derive(Debug)]
+pub enum StudyOutcome {
+    /// Ran to completion; aggregates are on disk.
+    Complete(StudyReport),
+    /// The `stop_after_items` hook fired (test emulation of a kill
+    /// between checkpoints — nothing was written for the final chunk).
+    Stopped {
+        /// Completed items at the stop, including resumed ones.
+        completed: u64,
+        /// Total items in the manifest.
+        total: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints and the sanctioned clock
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64 (no dependencies, stable across platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seconds since process origin, for the `interval_seconds` trigger.
+/// This is the module's *only* clock read, and it gates when snapshots
+/// are written — never what they contain.
+fn clock_seconds() -> f64 {
+    // lint: allow(wall-clock-in-sim) — the study checkpointer's single sanctioned clock site, routed through ckpt_obs::clock (see lint.toml)
+    ckpt_obs::clock::now_micros() as f64 / 1e6
+}
+
+/// FNV-1a over the golden directory (file names + contents, sorted by
+/// name), or 0 when unset/unreadable — a pipeline-identity component of
+/// the manifest fingerprint: when the committed goldens change, every
+/// older checkpoint store is stale by definition.
+fn golden_hash(dir: Option<&Path>) -> u64 {
+    let Some(dir) = dir else { return 0 };
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    let mut bytes = Vec::new();
+    for p in names {
+        if let Some(name) = p.file_name() {
+            bytes.extend_from_slice(name.to_string_lossy().as_bytes());
+        }
+        bytes.push(0);
+        if let Ok(content) = std::fs::read(&p) {
+            bytes.extend_from_slice(&content);
+        }
+        bytes.push(0);
+    }
+    fnv1a(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Manifest construction
+// ---------------------------------------------------------------------
+
+/// Stable persistent distribution identity: the value fingerprint when
+/// the distribution has one, else the spec label (never the
+/// process-local instance id, which would poison resume).
+fn dist_identity(scenario: &Scenario) -> String {
+    match scenario.dist.try_build() {
+        Ok(built) => match DistId::of(built.dist.as_ref()) {
+            DistId::Shared(fp) => format!("fp:{fp:016x}"),
+            DistId::Instance(_) => format!("label:{}", scenario.dist.label()),
+        },
+        Err(e) => format!("unbuildable:{e}"),
+    }
+}
+
+/// Decompose a study into its manifest (typed items + fingerprint).
+pub fn build_manifest(def: &StudyDef, config: &CheckpointConfig) -> StudyManifest {
+    let block = config.trace_block.max(1);
+    let mut cells = Vec::with_capacity(def.cells.len());
+    let mut items: Vec<WorkItem> = Vec::new();
+    let mut id: u64 = 0;
+    let mut push = |items: &mut Vec<WorkItem>, cell, kind, lo, hi| {
+        items.push(WorkItem { id, cell, kind, trace_lo: lo, trace_hi: hi });
+        id += 1;
+    };
+    for (c, cell) in def.cells.iter().enumerate() {
+        let sim_plan = plan_scenario(&cell.scenario, &cell.kinds, &cell.options);
+        let blocks: Vec<(usize, usize)> = (0..sim_plan.traces)
+            .step_by(block)
+            .map(|lo| (lo, (lo + block).min(sim_plan.traces)))
+            .collect();
+        for policy in 0..sim_plan.kinds.len() {
+            for &(lo, hi) in &blocks {
+                push(&mut items, c, ItemKind::Policy { policy }, lo, hi);
+            }
+        }
+        if sim_plan.lower_bound {
+            for &(lo, hi) in &blocks {
+                push(&mut items, c, ItemKind::LowerBound, lo, hi);
+            }
+        }
+        for &candidate in &sim_plan.coarse {
+            for &(lo, hi) in &blocks {
+                push(&mut items, c, ItemKind::Coarse { candidate }, lo, hi);
+            }
+        }
+        if sim_plan.refine_step.is_some() && !sim_plan.grid.is_empty() {
+            push(&mut items, c, ItemKind::Refine, 0, sim_plan.traces);
+        }
+        cells.push(ManifestCell {
+            label: cell.scenario.label.clone(),
+            stem: cell.stem.clone(),
+            procs: cell.scenario.procs,
+            traces: sim_plan.traces,
+            dist_id: dist_identity(&cell.scenario),
+            roster: cell.kinds.iter().map(|k| format!("{k:?}")).collect(),
+            options: format!("{:?}", cell.options),
+            grid_len: sim_plan.grid.len(),
+            coarse: sim_plan.coarse.clone(),
+            refine_step: sim_plan.refine_step.unwrap_or(0),
+            lower_bound: sim_plan.lower_bound,
+        });
+    }
+    let mut manifest = StudyManifest {
+        version: STORE_VERSION,
+        study: def.id.clone(),
+        fingerprint: String::new(),
+        lanes: ckpt_math::simd::LANES,
+        trace_block: block,
+        golden_hash: format!("{:016x}", golden_hash(config.golden_dir.as_deref())),
+        cells,
+        items,
+    };
+    manifest.fingerprint = format!("{:016x}", fnv1a(manifest_json(&manifest).as_bytes()));
+    manifest
+}
+
+// ---------------------------------------------------------------------
+// JSON emission (read back by `jsonio`)
+// ---------------------------------------------------------------------
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", serde_json::escape_str(s))
+}
+
+fn stats_json(st: &TraceStatsBits) -> String {
+    format!(
+        "{{\"makespan\": {}, \"failures\": {}, \"decisions\": {}, \
+         \"chunk_min\": {}, \"chunk_max\": {}}}",
+        st.makespan, st.failures, st.decisions, st.chunk_min, st.chunk_max
+    )
+}
+
+fn stats_list_json(stats: &[TraceStatsBits]) -> String {
+    let inner: Vec<String> = stats.iter().map(stats_json).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn payload_json(p: &ItemPayload) -> String {
+    match p {
+        ItemPayload::Policy { built, reason, stats } => format!(
+            "{{\"kind\": \"policy\", \"built\": {built}, \"reason\": {}, \"stats\": {}}}",
+            json_str(reason),
+            stats_list_json(stats)
+        ),
+        ItemPayload::LowerBound { makespans } => {
+            let inner: Vec<String> = makespans.iter().map(u64::to_string).collect();
+            format!("{{\"kind\": \"lower_bound\", \"makespans\": [{}]}}", inner.join(", "))
+        }
+        ItemPayload::Coarse { stats } => {
+            format!("{{\"kind\": \"coarse\", \"stats\": {}}}", stats_list_json(stats))
+        }
+        ItemPayload::Refine { columns } => {
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"candidate\": {}, \"stats\": {}}}",
+                        c.candidate,
+                        stats_list_json(&c.stats)
+                    )
+                })
+                .collect();
+            format!("{{\"kind\": \"refine\", \"columns\": [{}]}}", cols.join(", "))
+        }
+        ItemPayload::CellFailed { error } => {
+            format!("{{\"kind\": \"cell_failed\", \"error\": {}}}", json_str(error))
+        }
+    }
+}
+
+fn item_json(it: &WorkItem) -> String {
+    let (kind, index) = match it.kind {
+        ItemKind::Policy { policy } => ("policy", policy as i64),
+        ItemKind::LowerBound => ("lower_bound", -1),
+        ItemKind::Coarse { candidate } => ("coarse", candidate as i64),
+        ItemKind::Refine => ("refine", -1),
+    };
+    format!(
+        "{{\"id\": {}, \"cell\": {}, \"kind\": \"{kind}\", \"index\": {index}, \
+         \"trace_lo\": {}, \"trace_hi\": {}}}",
+        it.id, it.cell, it.trace_lo, it.trace_hi
+    )
+}
+
+/// Serialise a manifest. With `fingerprint` emptied this is also the
+/// fingerprint's hash input, so the serialisation *is* the identity.
+pub fn manifest_json(m: &StudyManifest) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"version\": {},\n", m.version));
+    s.push_str(&format!("  \"study\": {},\n", json_str(&m.study)));
+    s.push_str(&format!("  \"fingerprint\": {},\n", json_str(&m.fingerprint)));
+    s.push_str(&format!("  \"lanes\": {},\n", m.lanes));
+    s.push_str(&format!("  \"trace_block\": {},\n", m.trace_block));
+    s.push_str(&format!("  \"golden_hash\": {},\n", json_str(&m.golden_hash)));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in m.cells.iter().enumerate() {
+        let roster: Vec<String> = c.roster.iter().map(|r| json_str(r)).collect();
+        let coarse: Vec<String> = c.coarse.iter().map(usize::to_string).collect();
+        s.push_str(&format!(
+            "    {{\"label\": {}, \"stem\": {}, \"procs\": {}, \"traces\": {}, \
+             \"dist_id\": {}, \"roster\": [{}], \"options\": {}, \"grid_len\": {}, \
+             \"coarse\": [{}], \"refine_step\": {}, \"lower_bound\": {}}}",
+            json_str(&c.label),
+            json_str(&c.stem),
+            c.procs,
+            c.traces,
+            json_str(&c.dist_id),
+            roster.join(", "),
+            json_str(&c.options),
+            c.grid_len,
+            coarse.join(", "),
+            c.refine_step,
+            c.lower_bound,
+        ));
+        s.push_str(if i + 1 < m.cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"items\": [\n");
+    for (i, it) in m.items.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&item_json(it));
+        s.push_str(if i + 1 < m.items.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Serialise one checkpoint snapshot (full completed state).
+pub fn checkpoint_json(
+    study: &str,
+    fingerprint: &str,
+    seq: u64,
+    completed: &BTreeMap<u64, ItemPayload>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"version\": {STORE_VERSION},\n"));
+    s.push_str(&format!("  \"study\": {},\n", json_str(study)));
+    s.push_str(&format!("  \"fingerprint\": {},\n", json_str(fingerprint)));
+    s.push_str(&format!("  \"seq\": {seq},\n"));
+    s.push_str("  \"completed\": [\n");
+    let n = completed.len();
+    for (i, (id, payload)) in completed.iter().enumerate() {
+        s.push_str(&format!("    {{\"id\": {id}, \"payload\": {}}}", payload_json(payload)));
+        s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------
+// JSON parsing (via `jsonio`)
+// ---------------------------------------------------------------------
+
+fn bad(reason: impl Into<String>) -> Error {
+    Error::Checkpoint { reason: reason.into() }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, Error> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| bad(format!("missing u64 `{key}`")))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, Error> {
+    usize::try_from(get_u64(v, key)?).map_err(|_| bad(format!("`{key}` out of range")))
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, Error> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing string `{key}`")))
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, Error> {
+    v.get(key).and_then(Json::as_bool).ok_or_else(|| bad(format!("missing bool `{key}`")))
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], Error> {
+    v.get(key).and_then(Json::as_arr).ok_or_else(|| bad(format!("missing array `{key}`")))
+}
+
+/// The finite-makespan invariant: a persisted makespan bit pattern must
+/// decode to a finite float (NaN/Inf would silently poison downstream
+/// means and golden bytes; chunk bounds are exempt — `chunk_min` is
+/// `+∞` on decision-free runs by construction).
+fn check_finite_makespan(bits: u64) -> Result<u64, Error> {
+    if f64::from_bits(bits).is_finite() {
+        Ok(bits)
+    } else {
+        Err(bad(format!("non-finite makespan bits {bits:#018x}")))
+    }
+}
+
+fn parse_stats(v: &Json) -> Result<TraceStatsBits, Error> {
+    Ok(TraceStatsBits {
+        makespan: check_finite_makespan(get_u64(v, "makespan")?)?,
+        failures: get_u64(v, "failures")?,
+        decisions: get_u64(v, "decisions")?,
+        chunk_min: get_u64(v, "chunk_min")?,
+        chunk_max: get_u64(v, "chunk_max")?,
+    })
+}
+
+fn parse_stats_list(v: &Json, key: &str) -> Result<Vec<TraceStatsBits>, Error> {
+    get_arr(v, key)?.iter().map(parse_stats).collect()
+}
+
+fn parse_payload(v: &Json) -> Result<ItemPayload, Error> {
+    match get_str(v, "kind")?.as_str() {
+        "policy" => Ok(ItemPayload::Policy {
+            built: get_bool(v, "built")?,
+            reason: get_str(v, "reason")?,
+            stats: parse_stats_list(v, "stats")?,
+        }),
+        "lower_bound" => Ok(ItemPayload::LowerBound {
+            makespans: get_arr(v, "makespans")?
+                .iter()
+                .map(|m| {
+                    m.as_u64()
+                        .ok_or_else(|| bad("bad lower-bound bits"))
+                        .and_then(check_finite_makespan)
+                })
+                .collect::<Result<_, _>>()?,
+        }),
+        "coarse" => Ok(ItemPayload::Coarse { stats: parse_stats_list(v, "stats")? }),
+        "refine" => Ok(ItemPayload::Refine {
+            columns: get_arr(v, "columns")?
+                .iter()
+                .map(|c| {
+                    Ok(RefineColumn {
+                        candidate: get_usize(c, "candidate")?,
+                        stats: parse_stats_list(c, "stats")?,
+                    })
+                })
+                .collect::<Result<_, Error>>()?,
+        }),
+        "cell_failed" => Ok(ItemPayload::CellFailed { error: get_str(v, "error")? }),
+        other => Err(bad(format!("unknown payload kind `{other}`"))),
+    }
+}
+
+fn parse_item(v: &Json) -> Result<WorkItem, Error> {
+    let kind = match get_str(v, "kind")?.as_str() {
+        "policy" => ItemKind::Policy { policy: get_usize(v, "index")? },
+        "lower_bound" => ItemKind::LowerBound,
+        "coarse" => ItemKind::Coarse { candidate: get_usize(v, "index")? },
+        "refine" => ItemKind::Refine,
+        other => return Err(bad(format!("unknown item kind `{other}`"))),
+    };
+    Ok(WorkItem {
+        id: get_u64(v, "id")?,
+        cell: get_usize(v, "cell")?,
+        kind,
+        trace_lo: get_usize(v, "trace_lo")?,
+        trace_hi: get_usize(v, "trace_hi")?,
+    })
+}
+
+/// Parse a manifest document back to its typed form.
+///
+/// # Errors
+/// [`Error::Checkpoint`] on malformed JSON or missing fields.
+pub fn parse_manifest(src: &str) -> Result<StudyManifest, Error> {
+    let v = jsonio::parse(src).map_err(|e| bad(format!("manifest: {e}")))?;
+    Ok(StudyManifest {
+        version: get_u64(&v, "version")?,
+        study: get_str(&v, "study")?,
+        fingerprint: get_str(&v, "fingerprint")?,
+        lanes: get_usize(&v, "lanes")?,
+        trace_block: get_usize(&v, "trace_block")?,
+        golden_hash: get_str(&v, "golden_hash")?,
+        cells: get_arr(&v, "cells")?
+            .iter()
+            .map(|c| {
+                Ok(ManifestCell {
+                    label: get_str(c, "label")?,
+                    stem: get_str(c, "stem")?,
+                    procs: get_u64(c, "procs")?,
+                    traces: get_usize(c, "traces")?,
+                    dist_id: get_str(c, "dist_id")?,
+                    roster: get_arr(c, "roster")?
+                        .iter()
+                        .map(|r| {
+                            r.as_str().map(str::to_string).ok_or_else(|| bad("bad roster"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    options: get_str(c, "options")?,
+                    grid_len: get_usize(c, "grid_len")?,
+                    coarse: get_arr(c, "coarse")?
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .and_then(|u| usize::try_from(u).ok())
+                                .ok_or_else(|| bad("bad coarse index"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    refine_step: get_usize(c, "refine_step")?,
+                    lower_bound: get_bool(c, "lower_bound")?,
+                })
+            })
+            .collect::<Result<_, Error>>()?,
+        items: get_arr(&v, "items")?.iter().map(parse_item).collect::<Result<_, _>>()?,
+    })
+}
+
+/// A parsed checkpoint snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// Format version.
+    pub version: u64,
+    /// Owning study id.
+    pub study: String,
+    /// Manifest fingerprint the snapshot was written against.
+    pub fingerprint: String,
+    /// Monotonic snapshot sequence number.
+    pub seq: u64,
+    /// Completed payloads by item id.
+    pub completed: BTreeMap<u64, ItemPayload>,
+}
+
+/// Parse a checkpoint document, enforcing the finite-makespan invariant.
+///
+/// # Errors
+/// [`Error::Checkpoint`] on malformed JSON, missing fields, or a
+/// non-finite persisted makespan.
+pub fn parse_checkpoint(src: &str) -> Result<CheckpointFile, Error> {
+    let v = jsonio::parse(src).map_err(|e| bad(format!("checkpoint: {e}")))?;
+    let mut completed = BTreeMap::new();
+    for entry in get_arr(&v, "completed")? {
+        let id = get_u64(entry, "id")?;
+        let payload = entry.get("payload").ok_or_else(|| bad("missing payload"))?;
+        completed.insert(id, parse_payload(payload)?);
+    }
+    Ok(CheckpointFile {
+        version: get_u64(&v, "version")?,
+        study: get_str(&v, "study")?,
+        fingerprint: get_str(&v, "fingerprint")?,
+        seq: get_u64(&v, "seq")?,
+        completed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Store layout and atomic I/O
+// ---------------------------------------------------------------------
+
+fn study_dir(config: &CheckpointConfig, id: &str) -> PathBuf {
+    config.root.join(id)
+}
+
+fn ckpt_name(seq: u64) -> String {
+    format!("ckpt-{seq:06}.json")
+}
+
+/// Parse `ckpt-NNNNNN.json` back to its sequence number.
+fn ckpt_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Write-then-rename so readers (and kills) never observe a torn file.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), Error> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)
+        .map_err(|e| bad(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| bad(format!("rename {}: {e}", path.display())))
+}
+
+/// Checkpoint files of a study dir as `(seq, path)`, ascending.
+fn list_checkpoints(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut out: Vec<(u64, PathBuf)> = entries
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let seq = ckpt_seq(path.file_name()?.to_str()?)?;
+            Some((seq, path))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Drop all but the newest `keep` checkpoint files.
+fn prune_checkpoints(dir: &Path, keep: usize) {
+    let files = list_checkpoints(dir);
+    let excess = files.len().saturating_sub(keep.max(1));
+    for (_, path) in files.into_iter().take(excess) {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn write_status(dir: &Path, status: &str) -> Result<(), Error> {
+    write_atomic(&dir.join("status"), &format!("{status}\n"))
+}
+
+// ---------------------------------------------------------------------
+// Item execution
+// ---------------------------------------------------------------------
+
+/// Per-cell execution context, built once per process.
+struct CellCtx {
+    sim_plan: SimPlan,
+    built: Result<BuiltDist, Error>,
+    spec: JobSpec,
+}
+
+impl CellCtx {
+    fn build(cell: &StudyCell) -> Self {
+        Self {
+            sim_plan: plan_scenario(&cell.scenario, &cell.kinds, &cell.options),
+            built: cell.scenario.dist.try_build(),
+            spec: cell.scenario.job_spec(),
+        }
+    }
+}
+
+/// Simulate one candidate factor on one trace — the exact construction
+/// [`crate::exec::search_candidates`] performs per task.
+fn simulate_candidate(
+    ctx: &CellCtx,
+    built: &BuiltDist,
+    scenario: &Scenario,
+    factor: f64,
+    trace: usize,
+) -> TraceStatsBits {
+    let ct = TraceCache::global().get_or_generate(scenario, built, trace);
+    let base = crate::registry::optexp_base(&ctx.spec, built.proc_mtbf);
+    let policy = base.as_fixed_period().scaled(factor);
+    TraceStatsBits::of(&crate::exec::simulate_on(&ctx.spec, &policy, &ct, ctx.sim_plan.sim))
+}
+
+/// The coarse columns of one cell, assembled from completed payloads in
+/// trace order: `columns[candidate] = per-trace makespans`. Shared by
+/// the refine executor (incumbent) and the commit layer (final winner).
+pub(crate) fn assemble_coarse_columns(
+    sim_plan: &SimPlan,
+    cell_items: &[WorkItem],
+    completed: &BTreeMap<u64, ItemPayload>,
+) -> Vec<Option<Vec<f64>>> {
+    let mut columns: Vec<Option<Vec<f64>>> = vec![None; sim_plan.grid.len()];
+    for item in cell_items {
+        let ItemKind::Coarse { candidate } = item.kind else { continue };
+        let Some(ItemPayload::Coarse { stats }) = completed.get(&item.id) else { continue };
+        let col =
+            columns[candidate].get_or_insert_with(|| vec![0.0; sim_plan.traces]);
+        for (k, st) in stats.iter().enumerate() {
+            col[item.trace_lo + k] = st.makespan_f64();
+        }
+    }
+    columns
+}
+
+/// Mean per candidate, summed in trace order — the executor's exact
+/// reduction (`col.iter().sum::<f64>() / len`).
+fn column_means(columns: &[Option<Vec<f64>>]) -> Vec<Option<f64>> {
+    columns
+        .iter()
+        .map(|c| c.as_ref().map(|col| col.iter().sum::<f64>() / col.len().max(1) as f64))
+        .collect()
+}
+
+/// Execute one work item. Pure in the payload: the result depends only
+/// on the manifest position and (for `Refine`) on the cell's completed
+/// coarse payloads, never on wall-clock, thread count, or process
+/// history.
+fn execute_item(
+    def: &StudyDef,
+    ctxs: &[CellCtx],
+    cell_items: &[Vec<WorkItem>],
+    item: &WorkItem,
+    completed: &BTreeMap<u64, ItemPayload>,
+) -> ItemPayload {
+    let _span = ckpt_obs::task_span("study.item", item.id);
+    let cell = &def.cells[item.cell];
+    let ctx = &ctxs[item.cell];
+    let built = match &ctx.built {
+        Ok(b) => b,
+        Err(e) => return ItemPayload::CellFailed { error: e.to_string() },
+    };
+    match item.kind {
+        ItemKind::Policy { policy } => {
+            match crate::registry::build_policy(&ctx.sim_plan.kinds[policy], &cell.scenario, built)
+            {
+                Ok(p) => {
+                    let stats: Vec<TraceStatsBits> = (item.trace_lo..item.trace_hi)
+                        .into_par_iter()
+                        .map(|t| {
+                            let ct =
+                                TraceCache::global().get_or_generate(&cell.scenario, built, t);
+                            TraceStatsBits::of(&crate::exec::simulate_on(
+                                &ctx.spec,
+                                p.as_ref(),
+                                &ct,
+                                ctx.sim_plan.sim,
+                            ))
+                        })
+                        .collect();
+                    ItemPayload::Policy { built: true, reason: String::new(), stats }
+                }
+                Err(e) => {
+                    ItemPayload::Policy { built: false, reason: e.to_string(), stats: Vec::new() }
+                }
+            }
+        }
+        ItemKind::LowerBound => {
+            let makespans: Vec<u64> = (item.trace_lo..item.trace_hi)
+                .into_par_iter()
+                .map(|t| {
+                    let ct = TraceCache::global().get_or_generate(&cell.scenario, built, t);
+                    lower_bound_makespan(&ctx.spec, &ct.traces).makespan.to_bits()
+                })
+                .collect();
+            ItemPayload::LowerBound { makespans }
+        }
+        ItemKind::Coarse { candidate } => {
+            let factor = ctx.sim_plan.grid[candidate];
+            let stats: Vec<TraceStatsBits> = (item.trace_lo..item.trace_hi)
+                .into_par_iter()
+                .map(|t| simulate_candidate(ctx, built, &cell.scenario, factor, t))
+                .collect();
+            ItemPayload::Coarse { stats }
+        }
+        ItemKind::Refine => {
+            // Incumbent from the cell's (already completed — strict id
+            // order) coarse columns, exactly as the live executor picks
+            // it between its waves.
+            let columns =
+                assemble_coarse_columns(&ctx.sim_plan, &cell_items[item.cell], completed);
+            let means = column_means(&columns);
+            let Some(incumbent) = plan::winner(&means) else {
+                return ItemPayload::Refine { columns: Vec::new() };
+            };
+            // Same fresh filter as the live refine wave: candidates the
+            // coarse pass already evaluated are not re-simulated (their
+            // count feeds `candidate_sims`, so it must match too).
+            let fresh: Vec<usize> = ctx
+                .sim_plan
+                .refine_window(incumbent)
+                .filter(|i| !ctx.sim_plan.coarse.contains(i))
+                .collect();
+            let pairs: Vec<(usize, usize)> = fresh
+                .iter()
+                .flat_map(|&c| (0..ctx.sim_plan.traces).map(move |t| (c, t)))
+                .collect();
+            let flat: Vec<TraceStatsBits> = pairs
+                .par_iter()
+                .map(|&(c, t)| {
+                    simulate_candidate(ctx, built, &cell.scenario, ctx.sim_plan.grid[c], t)
+                })
+                .collect();
+            let columns = fresh
+                .iter()
+                .enumerate()
+                .map(|(k, &candidate)| RefineColumn {
+                    candidate,
+                    stats: flat[k * ctx.sim_plan.traces..(k + 1) * ctx.sim_plan.traces].to_vec(),
+                })
+                .collect();
+            ItemPayload::Refine { columns }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The run loop
+// ---------------------------------------------------------------------
+
+/// Group pending items into execution chunks: consecutive runs of up to
+/// [`CHUNK_ITEMS`] independent items, with every `Refine` item alone in
+/// its chunk (the chunk boundary is the barrier that guarantees its
+/// cell's coarse items are merged before it runs).
+fn chunk_pending(pending: &[WorkItem]) -> Vec<Vec<WorkItem>> {
+    let mut chunks: Vec<Vec<WorkItem>> = Vec::new();
+    let mut current: Vec<WorkItem> = Vec::new();
+    for &item in pending {
+        if matches!(item.kind, ItemKind::Refine) {
+            if !current.is_empty() {
+                chunks.push(std::mem::take(&mut current));
+            }
+            chunks.push(vec![item]);
+            continue;
+        }
+        current.push(item);
+        if current.len() >= CHUNK_ITEMS {
+            chunks.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// SIGKILL our own process (CLI `--kill-at` hook): the real thing, so
+/// no destructor, no flush, no final checkpoint runs — exactly the
+/// failure the resume path claims to survive.
+fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+    // SIGKILL cannot be handled; reaching here means `kill` was
+    // unavailable. Abort still skips destructors and exit handlers.
+    std::process::abort();
+}
+
+/// Load the newest usable snapshot of `dir`. Corrupt or version-skewed
+/// files are skipped (counted as rejected); a *fingerprint* mismatch is
+/// a hard error — the store describes different numbers than `expect`
+/// and must not be silently reused.
+fn load_latest(dir: &Path, study: &str, expect: &str) -> Result<Option<CheckpointFile>, Error> {
+    let mut files = list_checkpoints(dir);
+    files.reverse();
+    for (_, path) in files {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                ckpt_obs::counter_add("study.checkpoint_rejected", 1);
+                continue;
+            }
+        };
+        let ckpt = match parse_checkpoint(&src) {
+            Ok(c) => c,
+            Err(_) => {
+                ckpt_obs::counter_add("study.checkpoint_rejected", 1);
+                continue;
+            }
+        };
+        if ckpt.version != STORE_VERSION || ckpt.study != study {
+            ckpt_obs::counter_add("study.checkpoint_rejected", 1);
+            continue;
+        }
+        if ckpt.fingerprint != expect {
+            ckpt_obs::counter_add("study.checkpoint_rejected", 1);
+            return Err(bad(format!(
+                "stale checkpoint store for study `{study}`: snapshot fingerprint {} \
+                 does not match the rebuilt manifest fingerprint {expect} \
+                 ({}) — refusing to resume",
+                ckpt.fingerprint,
+                path.display()
+            )));
+        }
+        return Ok(Some(ckpt));
+    }
+    Ok(None)
+}
+
+/// Run (or resume) a study through the checkpoint store.
+///
+/// Fresh runs (`resume == false`) refuse to overwrite an existing study
+/// directory. Resumes (`resume == true`) require the directory, rebuild
+/// the manifest from `def`, validate fingerprints, restore the newest
+/// snapshot's completed set, and execute only what is missing —
+/// in-progress work of the killed process is implicitly back in
+/// pending, completed work is replayed by payload, never re-simulated.
+///
+/// # Errors
+/// [`Error::Checkpoint`] for store-level failures (I/O, corrupt or
+/// stale snapshots, id collisions). Cell-level failures are values in
+/// the returned report, mirroring [`Study::run_all`](crate::study::Study::run_all).
+pub fn run_study(
+    def: &StudyDef,
+    config: &CheckpointConfig,
+    resume: bool,
+) -> Result<StudyOutcome, Error> {
+    let manifest = build_manifest(def, config);
+    let dir = study_dir(config, &def.id);
+    let mut completed: BTreeMap<u64, ItemPayload> = BTreeMap::new();
+    let mut next_seq: u64 = 0;
+
+    if resume {
+        let _span = ckpt_obs::span("study.resume");
+        if !dir.is_dir() {
+            return Err(bad(format!("no study `{}` under {}", def.id, config.root.display())));
+        }
+        if let Ok(src) = std::fs::read_to_string(dir.join("manifest.json")) {
+            let on_disk = parse_manifest(&src)?;
+            if on_disk.fingerprint != manifest.fingerprint {
+                ckpt_obs::counter_add("study.checkpoint_rejected", 1);
+                return Err(bad(format!(
+                    "stale manifest for study `{}`: on-disk fingerprint {} does not \
+                     match the rebuilt fingerprint {} — the store describes a \
+                     different study; refusing to resume",
+                    def.id, on_disk.fingerprint, manifest.fingerprint
+                )));
+            }
+        }
+        if let Some(ckpt) = load_latest(&dir, &def.id, &manifest.fingerprint)? {
+            next_seq = ckpt.seq + 1;
+            completed = ckpt.completed;
+        }
+        // Payloads for items the manifest does not know are dropped
+        // rather than trusted (defensive; fingerprint equality already
+        // implies the same item set).
+        let known: std::collections::BTreeSet<u64> =
+            manifest.items.iter().map(|i| i.id).collect();
+        completed.retain(|id, _| known.contains(id));
+    } else {
+        if dir.join("manifest.json").exists() {
+            return Err(bad(format!(
+                "study `{}` already exists under {} — resume it or pick a new id",
+                def.id,
+                config.root.display()
+            )));
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| bad(format!("create {}: {e}", dir.display())))?;
+        write_atomic(&dir.join("manifest.json"), &manifest_json(&manifest))?;
+    }
+
+    let items_total = manifest.items.len() as u64;
+    let items_resumed = completed.len() as u64;
+    ckpt_obs::counter_add("study.items_resumed", items_resumed);
+
+    let ctxs: Vec<CellCtx> = def.cells.iter().map(CellCtx::build).collect();
+    let mut cell_items: Vec<Vec<WorkItem>> = vec![Vec::new(); def.cells.len()];
+    for item in &manifest.items {
+        cell_items[item.cell].push(*item);
+    }
+    let pending: Vec<WorkItem> = manifest
+        .items
+        .iter()
+        .filter(|i| !completed.contains_key(&i.id))
+        .copied()
+        .collect();
+
+    let mut executed: u64 = 0;
+    let mut checkpoints_written: u64 = 0;
+    let mut since_ckpt: u64 = 0;
+    let mut last_ckpt = clock_seconds();
+    write_status(&dir, &format!("running {}/{items_total}", completed.len()))?;
+
+    for chunk in chunk_pending(&pending) {
+        let outs: Vec<(u64, ItemPayload)> = chunk
+            .par_iter()
+            .map(|item| (item.id, execute_item(def, &ctxs, &cell_items, item, &completed)))
+            .collect();
+        for (id, payload) in outs {
+            completed.insert(id, payload);
+        }
+        executed += chunk.len() as u64;
+        since_ckpt += chunk.len() as u64;
+        ckpt_obs::counter_add("study.items_executed", chunk.len() as u64);
+
+        if let Some(frac) = config.kill_at {
+            if completed.len() as f64 >= frac * items_total as f64 {
+                kill_self();
+            }
+        }
+        if let Some(stop) = config.stop_after_items {
+            if executed >= stop {
+                // Emulated kill between snapshots: leave the store
+                // exactly as the last checkpoint wrote it.
+                return Ok(StudyOutcome::Stopped {
+                    completed: completed.len() as u64,
+                    total: items_total,
+                });
+            }
+        }
+        let due_items = since_ckpt >= config.interval_items.max(1);
+        let due_time = clock_seconds() - last_ckpt >= config.interval_seconds;
+        if due_items || due_time {
+            let _span = ckpt_obs::span("study.checkpoint_write");
+            write_atomic(
+                &dir.join(ckpt_name(next_seq)),
+                &checkpoint_json(&def.id, &manifest.fingerprint, next_seq, &completed),
+            )?;
+            ckpt_obs::counter_add("study.checkpoint_writes", 1);
+            next_seq += 1;
+            checkpoints_written += 1;
+            since_ckpt = 0;
+            last_ckpt = clock_seconds();
+            prune_checkpoints(&dir, config.max_checkpoints);
+            write_status(&dir, &format!("running {}/{items_total}", completed.len()))?;
+        }
+    }
+
+    // Completion: final snapshot first (a crash between here and the
+    // aggregates resumes into an all-complete study and just re-commits),
+    // then the deterministic commit of every cell in definition order.
+    {
+        let _span = ckpt_obs::span("study.checkpoint_write");
+        write_atomic(
+            &dir.join(ckpt_name(next_seq)),
+            &checkpoint_json(&def.id, &manifest.fingerprint, next_seq, &completed),
+        )?;
+        ckpt_obs::counter_add("study.checkpoint_writes", 1);
+        checkpoints_written += 1;
+        prune_checkpoints(&dir, config.max_checkpoints);
+    }
+
+    let agg_dir = dir.join("aggregate");
+    std::fs::create_dir_all(&agg_dir)
+        .map_err(|e| bad(format!("create {}: {e}", agg_dir.display())))?;
+    let mut results = Vec::with_capacity(def.cells.len());
+    for (c, cell) in def.cells.iter().enumerate() {
+        let result = crate::reduce::commit(
+            &cell.scenario,
+            &ctxs[c].sim_plan,
+            &cell_items[c],
+            &completed,
+        );
+        if let Ok(r) = &result {
+            write_atomic(&agg_dir.join(format!("{}.json", cell.stem)), &crate::golden::golden_json(r))?;
+        }
+        results.push((cell.stem.clone(), result));
+    }
+
+    if !config.keep_final {
+        for (_, path) in list_checkpoints(&dir) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    write_status(&dir, &format!("done {items_total}/{items_total}"))?;
+
+    Ok(StudyOutcome::Complete(StudyReport {
+        id: def.id.clone(),
+        results,
+        items_total,
+        items_resumed,
+        items_executed: executed,
+        checkpoints_written,
+    }))
+}
+
+// ---------------------------------------------------------------------
+// `study ls` / `study gc`
+// ---------------------------------------------------------------------
+
+/// One row of `study ls`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudySummary {
+    /// Study id (directory name).
+    pub id: String,
+    /// Contents of the status file (`running N/M`, `done N/N`), or
+    /// `"unknown"`.
+    pub status: String,
+    /// Checkpoint files on disk.
+    pub checkpoints: usize,
+    /// Aggregate files on disk.
+    pub aggregates: usize,
+    /// Items in the manifest (0 when unreadable).
+    pub items: usize,
+}
+
+/// Enumerate the studies under `root`, sorted by id.
+///
+/// # Errors
+/// Never fails on per-study damage (damaged studies list as
+/// `"unknown"`); an unreadable root yields an empty list.
+pub fn list_studies(root: &Path) -> Vec<StudySummary> {
+    let Ok(entries) = std::fs::read_dir(root) else { return Vec::new() };
+    let mut out: Vec<StudySummary> = entries
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if !path.is_dir() {
+                return None;
+            }
+            let id = path.file_name()?.to_str()?.to_string();
+            let status = std::fs::read_to_string(path.join("status"))
+                .map(|s| s.trim().to_string())
+                .unwrap_or_else(|_| "unknown".to_string());
+            let items = std::fs::read_to_string(path.join("manifest.json"))
+                .ok()
+                .and_then(|s| parse_manifest(&s).ok())
+                .map_or(0, |m| m.items.len());
+            let aggregates = std::fs::read_dir(path.join("aggregate"))
+                .map(|d| d.filter_map(Result::ok).count())
+                .unwrap_or(0);
+            Some(StudySummary {
+                id,
+                status,
+                checkpoints: list_checkpoints(&path).len(),
+                aggregates,
+                items,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+/// Garbage-collect the store: prune every study to `max_checkpoints`
+/// snapshots; `purge` removes one study directory entirely. Returns a
+/// human-readable action log.
+///
+/// # Errors
+/// [`Error::Checkpoint`] when the purge target cannot be removed.
+pub fn gc_studies(
+    root: &Path,
+    max_checkpoints: usize,
+    purge: Option<&str>,
+) -> Result<Vec<String>, Error> {
+    let mut actions = Vec::new();
+    if let Some(id) = purge {
+        let dir = root.join(id);
+        if dir.is_dir() {
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| bad(format!("purge {}: {e}", dir.display())))?;
+            actions.push(format!("purged {id}"));
+        } else {
+            actions.push(format!("no study `{id}` to purge"));
+        }
+    }
+    for summary in list_studies(root) {
+        if Some(summary.id.as_str()) == purge {
+            continue;
+        }
+        let before = summary.checkpoints;
+        prune_checkpoints(&root.join(&summary.id), max_checkpoints);
+        let after = list_checkpoints(&root.join(&summary.id)).len();
+        if after < before {
+            actions.push(format!("{}: pruned {} checkpoint(s)", summary.id, before - after));
+        }
+    }
+    Ok(actions)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::runner::PeriodSearch;
+    use crate::scenario::DistSpec;
+    use ckpt_sim::SimOptions;
+
+    fn tiny_def(id: &str) -> StudyDef {
+        let mut s =
+            Scenario::single_processor(DistSpec::Exponential { mtbf: 6.0 * 3_600.0 }, 4);
+        s.total_work = 12.0 * 3_600.0;
+        let options = RunnerOptions {
+            lower_bound: true,
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
+            sim: SimOptions::default(),
+        };
+        StudyDef::new(id, [(s, vec![PolicyKind::Young, PolicyKind::OptExp], options)])
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values of FNV-1a 64.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn manifest_decomposes_and_fingerprint_is_stable() {
+        let def = tiny_def("t");
+        let config = CheckpointConfig { trace_block: 2, ..CheckpointConfig::default() };
+        let a = build_manifest(&def, &config);
+        let b = build_manifest(&def, &config);
+        assert_eq!(a, b, "manifest build must be deterministic");
+        // 2 policies × 2 blocks + 2 LB blocks + 3 candidates × 2 blocks,
+        // full search ⇒ no refine item.
+        assert_eq!(a.items.len(), 2 * 2 + 2 + 3 * 2);
+        assert!(a.items.iter().all(|i| !matches!(i.kind, ItemKind::Refine)));
+        assert_eq!(a.lanes, ckpt_math::simd::LANES);
+        // Ids are dense and ordered.
+        for (k, item) in a.items.iter().enumerate() {
+            assert_eq!(item.id, k as u64);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let config = CheckpointConfig::default();
+        let a = build_manifest(&tiny_def("t"), &config);
+        // Different roster ⇒ different fingerprint.
+        let mut def = tiny_def("t");
+        def.cells[0].kinds.pop();
+        let b = build_manifest(&def, &config);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        // Different trace block ⇒ different fingerprint.
+        let c = build_manifest(
+            &tiny_def("t"),
+            &CheckpointConfig { trace_block: 2, ..config },
+        );
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn stems_deduplicate() {
+        let mut s =
+            Scenario::single_processor(DistSpec::Exponential { mtbf: 3_600.0 }, 2);
+        s.total_work = 3_600.0;
+        let mut s2 = s.clone();
+        s2.procs = 2;
+        let s3 = s.clone();
+        let opts = RunnerOptions { period_lb: None, ..RunnerOptions::default() };
+        let def = StudyDef::new(
+            "d",
+            [
+                (s, vec![PolicyKind::Young], opts.clone()),
+                (s2, vec![PolicyKind::Young], opts.clone()),
+                (s3, vec![PolicyKind::Young], opts),
+            ],
+        );
+        let stems: Vec<&str> = def.cells.iter().map(|c| c.stem.as_str()).collect();
+        assert_eq!(stems.len(), 3);
+        assert!(stems[1].ends_with("-p2"));
+        for (i, a) in stems.iter().enumerate() {
+            for b in &stems[i + 1..] {
+                assert_ne!(a, b, "stems must be unique");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let def = tiny_def("rt");
+        let m = build_manifest(&def, &CheckpointConfig::default());
+        let parsed = parse_manifest(&manifest_json(&m)).expect("parses");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_non_finite() {
+        let mut completed = BTreeMap::new();
+        completed.insert(
+            3,
+            ItemPayload::Policy {
+                built: true,
+                reason: String::new(),
+                stats: vec![TraceStatsBits {
+                    makespan: 1234.5f64.to_bits(),
+                    failures: 2,
+                    decisions: 7,
+                    chunk_min: f64::INFINITY.to_bits(),
+                    chunk_max: 0.0f64.to_bits(),
+                }],
+            },
+        );
+        completed.insert(4, ItemPayload::LowerBound { makespans: vec![99.25f64.to_bits()] });
+        completed.insert(
+            5,
+            ItemPayload::Refine {
+                columns: vec![RefineColumn {
+                    candidate: 2,
+                    stats: vec![TraceStatsBits {
+                        makespan: 1.0f64.to_bits(),
+                        failures: 0,
+                        decisions: 1,
+                        chunk_min: 1.0f64.to_bits(),
+                        chunk_max: 1.0f64.to_bits(),
+                    }],
+                }],
+            },
+        );
+        completed.insert(6, ItemPayload::CellFailed { error: "distribution: boom".into() });
+        let src = checkpoint_json("s", "00ff", 7, &completed);
+        let parsed = parse_checkpoint(&src).expect("parses");
+        assert_eq!(parsed.seq, 7);
+        assert_eq!(parsed.completed, completed);
+
+        // A NaN makespan violates the store invariant (chunk_min may be
+        // +inf — it round-tripped above).
+        completed.insert(
+            7,
+            ItemPayload::LowerBound { makespans: vec![f64::NAN.to_bits()] },
+        );
+        let bad_src = checkpoint_json("s", "00ff", 8, &completed);
+        let err = parse_checkpoint(&bad_src).expect_err("NaN must be rejected");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn chunks_isolate_refine_items() {
+        let mk = |id, kind| WorkItem { id, cell: 0, kind, trace_lo: 0, trace_hi: 1 };
+        let items: Vec<WorkItem> = (0..20)
+            .map(|i| {
+                if i == 9 || i == 19 {
+                    mk(i, ItemKind::Refine)
+                } else {
+                    mk(i, ItemKind::Coarse { candidate: i as usize })
+                }
+            })
+            .collect();
+        let chunks = chunk_pending(&items);
+        let mut seen = 0u64;
+        for chunk in &chunks {
+            assert!(chunk.len() <= CHUNK_ITEMS);
+            if chunk.iter().any(|i| matches!(i.kind, ItemKind::Refine)) {
+                assert_eq!(chunk.len(), 1, "refine items run alone");
+            }
+            for item in chunk {
+                assert_eq!(item.id, seen, "chunks preserve id order");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 20);
+    }
+
+    #[test]
+    fn ckpt_names_round_trip_and_retention_prunes() {
+        assert_eq!(ckpt_seq(&ckpt_name(42)), Some(42));
+        assert_eq!(ckpt_seq("manifest.json"), None);
+        let dir = std::env::temp_dir()
+            .join(format!("ckpt-retention-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for seq in 0..5 {
+            std::fs::write(dir.join(ckpt_name(seq)), "{}").unwrap();
+        }
+        prune_checkpoints(&dir, 2);
+        let left: Vec<u64> = list_checkpoints(&dir).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(left, [3, 4], "newest snapshots survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_run_refuses_existing_study_and_resume_requires_one() {
+        let root = std::env::temp_dir()
+            .join(format!("ckpt-store-guard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let def = tiny_def("guard");
+        let config = CheckpointConfig {
+            root: root.clone(),
+            interval_seconds: 1e9,
+            ..CheckpointConfig::default()
+        };
+        let missing = run_study(&def, &config, true).expect_err("nothing to resume");
+        assert!(missing.to_string().contains("no study"), "{missing}");
+        match run_study(&def, &config, false).expect("fresh run") {
+            StudyOutcome::Complete(report) => {
+                assert_eq!(report.items_resumed, 0);
+                assert_eq!(report.items_executed, report.items_total);
+                assert!(report.results[0].1.is_ok());
+            }
+            StudyOutcome::Stopped { .. } => panic!("no stop hook configured"),
+        }
+        let again = run_study(&def, &config, false).expect_err("id collision");
+        assert!(again.to_string().contains("already exists"), "{again}");
+        // Resuming a completed study replays everything from the final
+        // snapshot and re-commits identical aggregates.
+        let agg = root.join("guard/aggregate").join(format!("{}.json", def.cells[0].stem));
+        let before = std::fs::read_to_string(&agg).expect("aggregate written");
+        match run_study(&def, &config, true).expect("resume complete study") {
+            StudyOutcome::Complete(report) => {
+                assert_eq!(report.items_resumed, report.items_total);
+                assert_eq!(report.items_executed, 0);
+            }
+            StudyOutcome::Stopped { .. } => panic!("no stop hook configured"),
+        }
+        assert_eq!(std::fs::read_to_string(&agg).expect("rewritten"), before);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn ls_and_gc_report_and_prune() {
+        let root = std::env::temp_dir()
+            .join(format!("ckpt-store-lsgc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let def = tiny_def("lsgc");
+        let config = CheckpointConfig {
+            root: root.clone(),
+            interval_items: 1,
+            interval_seconds: 1e9,
+            max_checkpoints: 10,
+            ..CheckpointConfig::default()
+        };
+        run_study(&def, &config, false).expect("runs");
+        let ls = list_studies(&root);
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].id, "lsgc");
+        assert!(ls[0].status.starts_with("done"), "{}", ls[0].status);
+        assert!(ls[0].checkpoints > 1);
+        assert_eq!(ls[0].aggregates, 1);
+        assert!(ls[0].items > 0);
+        let actions = gc_studies(&root, 1, None).expect("gc");
+        assert_eq!(actions.len(), 1, "{actions:?}");
+        assert_eq!(list_checkpoints(&root.join("lsgc")).len(), 1);
+        let actions = gc_studies(&root, 1, Some("lsgc")).expect("purge");
+        assert!(actions[0].contains("purged"), "{actions:?}");
+        assert!(list_studies(&root).is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

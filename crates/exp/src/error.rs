@@ -41,6 +41,36 @@ pub enum Error {
     /// No policy produced a makespan on any trace, so the §4.1
     /// degradation-from-best metric is undefined.
     NoBaseline,
+    /// A scenario-level failure annotated with the scenario's label, so
+    /// a failed cell in a 100-cell sweep is attributable from the error
+    /// value alone (`Study::run_all` / `Study::prewarm` wrap here).
+    Cell {
+        /// The failing scenario's label.
+        label: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+    /// The study checkpoint store could not be read, written, or trusted
+    /// (I/O failure, corrupt JSON, version skew, or a manifest
+    /// fingerprint mismatch — stale checkpoints are rejected, never
+    /// silently reused).
+    Checkpoint {
+        /// What went wrong, including the offending path where known.
+        reason: String,
+    },
+}
+
+impl Error {
+    /// Attach a scenario label to a cell-level failure. Idempotent: an
+    /// error already carrying this label is returned unchanged, so
+    /// layered callers (study → checkpoint runner) never double-wrap.
+    #[must_use]
+    pub fn for_cell(label: &str, source: Error) -> Self {
+        match source {
+            Self::Cell { label: l, source } if l == label => Self::Cell { label: l, source },
+            source => Self::Cell { label: label.to_string(), source: Box::new(source) },
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -57,6 +87,8 @@ impl std::fmt::Display for Error {
                 f,
                 "no policy produced a makespan on any trace (degradation undefined)"
             ),
+            Self::Cell { label, source } => write!(f, "cell {label}: {source}"),
+            Self::Checkpoint { reason } => write!(f, "checkpoint store: {reason}"),
         }
     }
 }
@@ -67,6 +99,7 @@ impl std::error::Error for Error {
             Self::Dist(e) => Some(e),
             Self::Platform(e) => Some(e),
             Self::Trace(e) => Some(e),
+            Self::Cell { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -120,6 +153,27 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("dalylo") && s.contains("DalyLow, DalyHigh"), "{s}");
+    }
+
+    #[test]
+    fn cell_wraps_label_and_chains_source() {
+        use std::error::Error as _;
+        let inner: Error = DistError::EmptySample.into();
+        let e = Error::for_cell("peta-weibull000p7000-003944700000", inner.clone());
+        assert!(e.to_string().starts_with("cell peta-weibull000p7000-003944700000: "));
+        assert!(e.source().is_some(), "cell errors must chain their source");
+        // Idempotent: re-wrapping with the same label changes nothing.
+        let again = Error::for_cell("peta-weibull000p7000-003944700000", e.clone());
+        assert_eq!(again, e);
+        // A different label nests (outermost wins the attribution).
+        let other = Error::for_cell("other-cell", e.clone());
+        assert!(other.to_string().starts_with("cell other-cell: cell peta-"));
+    }
+
+    #[test]
+    fn checkpoint_error_displays_reason() {
+        let e = Error::Checkpoint { reason: "manifest fingerprint mismatch".into() };
+        assert_eq!(e.to_string(), "checkpoint store: manifest fingerprint mismatch");
     }
 
     #[test]

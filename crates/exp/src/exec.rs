@@ -102,8 +102,10 @@ enum RosterOutput {
     LowerBound { makespan: f64 },
 }
 
-/// Run one policy session on one cached trace.
-fn simulate_on(
+/// Run one policy session on one cached trace. Shared with the
+/// checkpointed study runner ([`crate::checkpoint`]), whose item
+/// executors must perform bit-identical sims to this executor's waves.
+pub(crate) fn simulate_on(
     spec: &JobSpec,
     policy: &dyn Policy,
     ct: &CachedTrace,

@@ -21,6 +21,12 @@
 //!   scenario (so e.g. `OptExp` picks up each cell's `p` and `C(p)`);
 //! * [`study`] — the batch API: one roster + options, many scenarios,
 //!   per-cell `Result`s;
+//! * [`checkpoint`] — the durable form of a study: persisted work-item
+//!   manifests with content fingerprints, kill-safe checkpoint/resume
+//!   under `results/study/<id>/`, and byte-identical aggregates via the
+//!   [`reduce`] commit layer;
+//! * [`jsonio`] — the minimal JSON reader behind the checkpoint store
+//!   (the vendored `serde_json` is write-only);
 //! * [`error`] — the experiment-level [`Error`] type (`From`-chained
 //!   over the dist/platform/trace errors);
 //! * [`experiments`] — one entry point per paper artefact (`table2`,
@@ -41,11 +47,13 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod error;
 pub mod exec;
 pub mod experiments;
 pub mod extensions;
 pub mod golden;
+pub mod jsonio;
 pub mod output;
 pub mod perf;
 pub mod plan;
@@ -59,6 +67,9 @@ pub mod scenario;
 pub mod study;
 
 pub use cache::TraceCache;
+pub use checkpoint::{
+    run_study, CheckpointConfig, StudyDef, StudyOutcome, StudyReport,
+};
 pub use error::Error;
 pub use perf::PipelinePerf;
 pub use plan::{plan_scenario, SimPlan, SimTask};

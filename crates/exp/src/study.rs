@@ -102,7 +102,11 @@ impl Study {
     /// (see `crates/sim/tests/cache_equivalence.rs`).
     ///
     /// Results are discarded; one `Result` per cell reports scenario-
-    /// level failures (same contract as [`Study::run_all`]).
+    /// level failures (same contract as [`Study::run_all`]): each `Err`
+    /// carries its scenario's label ([`Error::Cell`]), and every failed
+    /// warm bumps the `study.prewarm_errors` obs counter (labeled by
+    /// cell), so a sweep driver can both attribute and count failures
+    /// without re-running anything.
     pub fn prewarm(&self, scenarios: &[Scenario]) -> Vec<Result<(), Error>> {
         let options = RunnerOptions {
             lower_bound: false,
@@ -112,15 +116,40 @@ impl Study {
         };
         scenarios
             .iter()
-            .map(|sc| run_scenario_checked(sc, &self.roster_for(sc), &options).map(|_| ()))
+            .map(|sc| {
+                run_scenario_checked(sc, &self.roster_for(sc), &options)
+                    .map(|_| ())
+                    .map_err(|e| {
+                        ckpt_obs::counter_add_labeled("study.prewarm_errors", &sc.label, 1);
+                        Error::for_cell(&sc.label, e)
+                    })
+            })
             .collect()
     }
 
     /// Run every scenario, one result per cell in input order. Failures
-    /// are per-cell values: a malformed cell yields its `Err` without
-    /// aborting the rest of the batch.
+    /// are per-cell values: a malformed cell yields its `Err` — wrapped
+    /// as [`Error::Cell`] with the scenario's label, so a failure in a
+    /// 100-cell sweep is attributable from the error value alone —
+    /// without aborting the rest of the batch.
     pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<Result<ScenarioResult, Error>> {
-        scenarios.iter().map(|sc| self.run(sc)).collect()
+        scenarios
+            .iter()
+            .map(|sc| self.run(sc).map_err(|e| Error::for_cell(&sc.label, e)))
+            .collect()
+    }
+
+    /// Lower this study over `scenarios` into a durable
+    /// [`StudyDef`](crate::checkpoint::StudyDef) for the checkpointed
+    /// runner ([`crate::checkpoint::run_study`]): same per-scenario
+    /// roster, same options, one cell per scenario in input order.
+    pub fn to_def(&self, id: impl Into<String>, scenarios: &[Scenario]) -> crate::checkpoint::StudyDef {
+        crate::checkpoint::StudyDef::new(
+            id,
+            scenarios
+                .iter()
+                .map(|sc| (sc.clone(), self.roster_for(sc), self.options.clone())),
+        )
     }
 }
 
@@ -207,6 +236,55 @@ mod tests {
             assert_eq!(a.name, b.name);
             assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
             assert_eq!(a.avg_degradation, b.avg_degradation, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn run_all_errors_carry_the_scenario_label() {
+        let mut bad = tiny(6.0 * 3_600.0);
+        bad.dist = DistSpec::LanlLog { cluster: 99 };
+        bad.label = "study-bad-cell".into();
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young])
+            .with_options(fast_options());
+        let results = study.run_all(std::slice::from_ref(&bad));
+        let err = results[0].as_ref().expect_err("cluster 99 is unmodelled");
+        // The failing cell is attributable from the error value alone.
+        assert!(
+            matches!(err, Error::Cell { label, .. } if label == "study-bad-cell"),
+            "{err:?}"
+        );
+        assert!(err.to_string().starts_with("cell study-bad-cell: "), "{err}");
+    }
+
+    #[test]
+    fn prewarm_errors_are_labeled_and_counted() {
+        let mut bad = tiny(6.0 * 3_600.0);
+        bad.dist = DistSpec::LanlLog { cluster: 99 };
+        bad.label = "study-bad-prewarm".into();
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young])
+            .with_options(fast_options());
+        let warmed = study.prewarm(std::slice::from_ref(&bad));
+        let err = warmed[0].as_ref().expect_err("cluster 99 is unmodelled");
+        assert!(
+            matches!(err, Error::Cell { label, .. } if label == "study-bad-prewarm"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn to_def_lowers_roster_and_options_per_cell() {
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young, PolicyKind::OptExp])
+            .with_options(fast_options());
+        let cells = [tiny(6.0 * 3_600.0), tiny(12.0 * 3_600.0)];
+        let def = study.to_def("lowered", &cells);
+        assert_eq!(def.id, "lowered");
+        assert_eq!(def.cells.len(), 2);
+        for (cell, sc) in def.cells.iter().zip(&cells) {
+            assert_eq!(cell.scenario.label, sc.label);
+            assert_eq!(cell.kinds, study.roster_for(sc));
         }
     }
 

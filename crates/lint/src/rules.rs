@@ -57,6 +57,10 @@ pub fn default_rule_config(rule: &str) -> RuleConfig {
                 "crates/policies/src".into(),
                 "crates/dist/src".into(),
                 "crates/obs/src".into(),
+                // The study checkpointer: its interval trigger reads the
+                // sanctioned obs clock through one pragma'd site; any
+                // other clock read there is a determinism bug.
+                "crates/exp/src/checkpoint.rs".into(),
             ];
             // The observability crate's single sanctioned clock site.
             rc.allow_paths = vec!["crates/obs/src/clock.rs".into()];
@@ -99,8 +103,9 @@ pub fn rule_summary(rule: &str) -> &'static str {
              within the preceding 3 lines"
         }
         "wall-clock-in-sim" => {
-            "`Instant`/`SystemTime` in simulation crates leaks wall-clock into \
-             reproducible paths; timing belongs in ckpt-exp's perf layer"
+            "`Instant`/`SystemTime` in simulation crates — and `now_micros` calls \
+             outside crates/obs — leak wall-clock into reproducible paths; timing \
+             belongs in ckpt-exp's perf layer, clock reads in ckpt-obs's clock"
         }
         "naked-transcendental-in-hot-path" => {
             "`powf`/`exp`/`ln` in the DP decision loops bypass the KernelTable \
@@ -384,20 +389,36 @@ fn unsafe_needs_safety_comment(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
 /// Wall-clock types anywhere in the simulation crates. Even an unused
 /// import is flagged: timing belongs in ckpt-exp's perf layer, which
 /// wraps the deterministic pipeline from outside.
+///
+/// Outside `crates/obs/` the rule also flags calls of the sanctioned
+/// clock itself (`now_micros`): consumers like the study checkpointer's
+/// interval trigger are in scope precisely so every such call site is
+/// either pragma'd with a justification or a finding — the clock may
+/// gate *when* durable state is written, never *what* is written.
 fn wall_clock_in_sim(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let in_obs = ctx.path.starts_with("crates/obs/");
     ctx.tokens
         .iter()
-        .filter(|t| t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime"))
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && (t.text == "Instant"
+                    || t.text == "SystemTime"
+                    || (!in_obs && t.text == "now_micros"))
+        })
         .map(|t| {
-            raw(
-                t.line,
-                t.col,
+            let message = if t.text == "now_micros" {
+                "`now_micros` outside crates/obs: the sanctioned clock may only \
+                 gate checkpoint timing through a pragma'd site, never feed values \
+                 into reproducible paths"
+                    .to_string()
+            } else {
                 format!(
                     "`{}` in a simulation crate: wall-clock reads cannot appear in \
                      reproducible sim paths (move timing to ckpt-exp's perf layer)",
                     t.text
-                ),
-            )
+                )
+            };
+            raw(t.line, t.col, message)
         })
         .collect()
 }
@@ -650,5 +671,20 @@ mod tests {
         assert_eq!(scan_src("wall-clock-in-sim", "use std::time::Instant;").len(), 1);
         assert_eq!(scan_src("naked-transcendental-in-hot-path", "let p = s.powf(k);").len(), 1);
         assert!(scan_src("naked-transcendental-in-hot-path", "let p = kernel.psuc(x, t);").is_empty());
+    }
+
+    #[test]
+    fn sanctioned_clock_flagged_outside_obs_only() {
+        // `scan_src` lexes under the path "x.rs" — outside crates/obs,
+        // so a call of the sanctioned clock is a finding (the study
+        // checkpointer's one consumer site carries a pragma instead).
+        let src = "let t = ckpt_obs::clock::now_micros();";
+        assert_eq!(scan_src("wall-clock-in-sim", src).len(), 1);
+        // The same tokens inside the obs crate are the clock's own
+        // implementation/consumers and are not findings.
+        let lexed = lex(src);
+        let ctx = FileCtx::build("crates/obs/src/recorder.rs", src, &lexed);
+        let cfg = Config::default_config();
+        assert!(scan("wall-clock-in-sim", &ctx, cfg.rule("wall-clock-in-sim")).is_empty());
     }
 }

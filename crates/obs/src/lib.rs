@@ -12,7 +12,11 @@
 //!   still only happens while an [`ObsSession`] is open.
 //! - **One clock site.** Wall-clock reads live in `clock.rs` alone;
 //!   `ckpt-lint`'s `wall-clock-in-sim` rule denies `Instant` everywhere
-//!   else in the sim crates *and* in this crate.
+//!   else in the sim crates *and* in this crate. The module is public
+//!   so the one other sanctioned consumer — the study checkpointer's
+//!   `interval_seconds` trigger in `crates/exp/src/checkpoint.rs` —
+//!   routes its reads through here instead of opening a second clock
+//!   site (its call site carries a lint pragma; see `lint.toml`).
 //! - **Deterministic merge.** Each thread records into its own shard;
 //!   [`ObsSession::finish`] folds shards with commutative per-key
 //!   operations (sum, max, bucket-count merge) and sorts spans by
@@ -41,8 +45,7 @@
 pub mod export;
 pub mod metrics;
 
-#[cfg(feature = "obs")]
-mod clock;
+pub mod clock;
 #[cfg(feature = "obs")]
 mod shard;
 

@@ -10,7 +10,10 @@
 #      pipeline (policy math, caches, scheduling) fails here;
 #   2. run the standard Petascale Weibull bench cell at a reduced trace
 #      count and print the per-stage breakdown and the plan-cache
-#      counters, so a perf regression is visible at a glance.
+#      counters, so a perf regression is visible at a glance;
+#   3. assert that a checkpointing-off study run (`run --no-checkpoint`)
+#      leaves the checkpoint store untouched — durability must be
+#      strictly opt-in, with zero filesystem footprint when off.
 #
 # Usage: scripts/bench_smoke.sh [TRACES]
 #   TRACES — trace count for the bench cell (default 4; seeds are fixed,
@@ -52,5 +55,15 @@ cargo run --release -q -p ckpt-exp --bin bench_pipeline -- \
   else
     cat
   fi
+
+echo "== checkpointing-off gate (store stays untouched) =="
+store="$tmp/study-off"
+target/release/ckpt-exp run --study bench --id off --traces "$TRACES" \
+  --study-root "$store" --no-checkpoint >/dev/null
+if [ -e "$store" ]; then
+  echo "NO-CHECKPOINT VIOLATION: $store was created by a checkpointing-off run" >&2
+  exit 1
+fi
+echo "store untouched by --no-checkpoint run"
 
 echo "== bench_smoke.sh: all green =="

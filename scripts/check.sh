@@ -13,7 +13,13 @@
 #      `#![warn(clippy::unwrap_used, clippy::expect_used)]`, so any
 #      unwrap/expect on a library path fails this step;
 #   5. ckpt-lint — the workspace determinism & safety lint (rules and
-#      scoping in lint.toml): any deny-level finding exits non-zero.
+#      scoping in lint.toml): any deny-level finding exits non-zero;
+#   6. the kill-and-resume gate: SIGKILL the golden study at ~50%
+#      completion (the checkpointer kills its own process, so the exit
+#      code is 137), resume it from the surviving snapshot, and
+#      byte-compare the committed aggregates against results/golden/ —
+#      the durability contract, proven end-to-end through real process
+#      death rather than an in-process stop hook.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -39,5 +45,29 @@ echo "== ckpt-lint (determinism & safety) =="
 # above never touch it: run its own suite here, then the workspace pass.
 cargo test -q -p ckpt-lint
 cargo run --release -q -p ckpt-lint
+
+echo "== kill-and-resume gate (SIGKILL mid-study, byte-identical resume) =="
+study_tmp=$(mktemp -d)
+trap 'rm -rf "$study_tmp"' EXIT
+# --checkpoint-items 4 forces several snapshots before the kill lands,
+# so the resume genuinely replays from mid-study state.
+set +e
+target/release/ckpt-exp run --study golden --id killres \
+  --study-root "$study_tmp" --checkpoint-items 4 --kill-at 0.5
+status=$?
+set -e
+if [ "$status" -ne 137 ]; then
+  echo "kill-and-resume: expected SIGKILL exit 137, got $status" >&2
+  exit 1
+fi
+target/release/ckpt-exp run --study golden --resume killres \
+  --study-root "$study_tmp" --checkpoint-items 4
+for f in results/golden/*.json; do
+  if ! cmp -s "$f" "$study_tmp/killres/aggregate/$(basename "$f")"; then
+    echo "RESUME DRIFT: $(basename "$f") differs from committed results/golden/" >&2
+    exit 1
+  fi
+done
+echo "resumed aggregates byte-identical ($(ls results/golden/*.json | wc -l) files)"
 
 echo "== check.sh: all green =="
