@@ -2,7 +2,14 @@
 //! by `scripts/bench_pipeline.sh` to produce `BENCH_pipeline.json`.
 //!
 //! Usage: `bench_pipeline [--traces N] [--label NAME] [--out PATH]
-//! [--search full|coarse] [--trace-out PATH] [--report-out PATH]`
+//! [--search full|coarse] [--trace-out PATH] [--report-out PATH]
+//! [--threads N] [--cell bench|lanl18|lanl19]`
+//!
+//! `--threads N` pins the work-stealing executor's worker count (the
+//! effective count and steal counters land in the JSON's
+//! `pipeline.exec` block); `--cell` selects the scaling cells used by
+//! `scripts/bench_exec_scaling.sh` (`lanl18`/`lanl19` are the LANL
+//! log-based clusters at the same p = 4096).
 //!
 //! Runs the full scenario pipeline (trace generation → policy sims →
 //! PeriodLB search → aggregation) once, prints a human summary, and
@@ -26,16 +33,21 @@ const YEAR: f64 = 365.25 * 86_400.0;
 
 /// The fixed bench cell: Table 1 Petascale, Weibull(k = 0.7, μ = 125 y),
 /// 4096 processors — the same platform as the `policy_micro` benches.
-fn bench_scenario(traces: usize) -> Scenario {
-    Scenario::petascale(
-        DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
-        1 << 12,
-        traces,
-    )
+/// `lanl18`/`lanl19` swap in the LANL log-based failure models at the
+/// same platform size (the `fig7`/`fig100` distributions).
+fn bench_scenario(cell: &str, traces: usize) -> Scenario {
+    let dist = match cell {
+        "bench" => DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
+        "lanl18" => DistSpec::LanlLog { cluster: 18 },
+        "lanl19" => DistSpec::LanlLog { cluster: 19 },
+        other => panic!("--cell bench|lanl18|lanl19, got {other:?}"),
+    };
+    Scenario::petascale(dist, 1 << 12, traces)
 }
 
 fn main() {
     let mut traces = 24usize;
+    let mut cell = "bench".to_string();
     let mut label = "run".to_string();
     let mut out: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -51,6 +63,14 @@ fn main() {
                     .expect("--traces N");
             }
             "--label" => label = args.next().expect("--label NAME"),
+            "--cell" => cell = args.next().expect("--cell bench|lanl18|lanl19"),
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+                ckpt_exp::steal::set_workers(n);
+            }
             "--out" => out = Some(args.next().expect("--out PATH")),
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--report-out" => report_out = Some(args.next().expect("--report-out PATH")),
@@ -68,17 +88,23 @@ fn main() {
         }
     }
 
-    let scenario = bench_scenario(traces);
-    let kinds = PolicyKind::paper_roster(false);
+    let scenario = bench_scenario(&cell, traces);
+    let kinds = if cell == "bench" {
+        PolicyKind::paper_roster(false)
+    } else {
+        PolicyKind::log_based_roster()
+    };
     let mut options = RunnerOptions::default_with_paper_grid();
     options.period_search = search;
 
     eprintln!(
-        "bench_pipeline[{label}]: {} procs, {} traces, {} policies, {} period candidates",
+        "bench_pipeline[{label}]: cell {cell}, {} procs, {} traces, {} policies, \
+         {} period candidates, {} workers",
         scenario.procs,
         scenario.traces,
         kinds.len(),
         options.period_lb.as_ref().map_or(0, Vec::len),
+        ckpt_exp::steal::workers(),
     );
 
     let session = ckpt_obs::ObsSession::start();
@@ -106,6 +132,13 @@ fn main() {
         perf.decisions,
         perf.failures
     );
+    if let Some(e) = &perf.exec {
+        eprintln!(
+            "  exec: {} workers, {} waves, claims {} local + {} injector + {} stolen \
+             ({} failed probes)",
+            e.workers, e.waves, e.local_claims, e.injector_claims, e.steals, e.failed_probes
+        );
+    }
 
     if let Some(data) = &obs_data {
         // The obs spans and the `PipelinePerf` stage timings bracket the

@@ -1,7 +1,7 @@
 //! `ckpt-exp` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! ckpt-exp <experiment> [--traces N] [--out results/]
+//! ckpt-exp <experiment> [--traces N] [--out results/] [--threads N]
 //!
 //! experiments:
 //!   fig1      platform MTBF vs p, both rejuvenation options
@@ -25,7 +25,7 @@
 //! ckpt-exp run --study golden|bench [--id ID] [--resume ID]
 //!              [--traces N] [--study-root DIR] [--checkpoint-items N]
 //!              [--checkpoint-secs S] [--trace-block B] [--max-checkpoints N]
-//!              [--kill-at FRAC] [--prewarm] [--no-checkpoint]
+//!              [--kill-at FRAC] [--prewarm] [--no-checkpoint] [--threads N]
 //! ckpt-exp study ls [--study-root DIR]
 //! ckpt-exp study gc [--study-root DIR] [--max-checkpoints N] [--purge ID]
 //! ```
@@ -57,6 +57,7 @@ struct Args {
     exa: bool,
     procs: u64,
     policy: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +72,7 @@ fn parse_args() -> Args {
         exa: false,
         procs: JAGUAR_PROCS,
         policy: None,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,6 +85,9 @@ fn parse_args() -> Args {
                 args.mtbf_years = it.next().expect("--mtbf-years Y").parse().expect("number")
             }
             "--policy" => args.policy = Some(it.next().expect("--policy NAME")),
+            "--threads" => {
+                args.threads = Some(it.next().expect("--threads N").parse().expect("number"))
+            }
             "--weibull" => args.weibull = true,
             "--exa" => args.exa = true,
             "--procs" => args.procs = it.next().expect("--procs P").parse().expect("number"),
@@ -141,6 +146,7 @@ struct RunArgs {
     kill_at: Option<f64>,
     prewarm: bool,
     no_checkpoint: bool,
+    threads: Option<usize>,
 }
 
 fn parse_run_args(rest: &[String]) -> RunArgs {
@@ -157,6 +163,7 @@ fn parse_run_args(rest: &[String]) -> RunArgs {
         kill_at: None,
         prewarm: false,
         no_checkpoint: false,
+        threads: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -182,6 +189,9 @@ fn parse_run_args(rest: &[String]) -> RunArgs {
             "--kill-at" => args.kill_at = Some(next("--kill-at FRAC").parse().expect("number")),
             "--prewarm" => args.prewarm = true,
             "--no-checkpoint" => args.no_checkpoint = true,
+            "--threads" => {
+                args.threads = Some(next("--threads N").parse().expect("number"))
+            }
             other => panic!("unknown `run` argument {other}"),
         }
     }
@@ -219,6 +229,9 @@ fn study_def(name: &str, id: &str, traces: Option<usize>) -> ckpt_exp::StudyDef 
 
 fn cmd_run(rest: &[String]) -> i32 {
     let args = parse_run_args(rest);
+    if let Some(n) = args.threads {
+        ckpt_exp::steal::set_workers(n);
+    }
     let id = args
         .resume
         .clone()
@@ -378,6 +391,9 @@ fn main() {
         _ => {}
     }
     let args = parse_args();
+    if let Some(n) = args.threads {
+        ckpt_exp::steal::set_workers(n);
+    }
     let t = args.traces;
     match args.experiment.as_str() {
         "fig1" => {

@@ -1192,10 +1192,23 @@ pub fn run_study(
     write_status(&dir, &format!("running {}/{items_total}", completed.len()))?;
 
     for chunk in chunk_pending(&pending) {
-        let outs: Vec<(u64, ItemPayload)> = chunk
-            .par_iter()
-            .map(|item| (item.id, execute_item(def, &ctxs, &cell_items, item, &completed)))
-            .collect();
+        // Drain the chunk through the work-stealing executor: items are
+        // independent within a chunk, DP policy items are the long
+        // poles (seeded into the worker deques), and the manifest-ID
+        // pairing makes the `completed` insertion order-free — the map
+        // is keyed, and `reduce::commit` folds in ID order anyway.
+        let is_heavy = |item: &WorkItem| match item.kind {
+            ItemKind::Policy { policy } => {
+                crate::exec::heavy_policy_kind(&ctxs[item.cell].sim_plan.kinds[policy])
+            }
+            _ => false,
+        };
+        let (outs, _stats) = crate::steal::run_wave(
+            &chunk,
+            crate::steal::workers(),
+            is_heavy,
+            |_, item| (item.id, execute_item(def, &ctxs, &cell_items, item, &completed)),
+        );
         for (id, payload) in outs {
             completed.insert(id, payload);
         }

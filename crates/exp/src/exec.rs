@@ -1,28 +1,33 @@
-//! Execution layer: a generic rayon executor draining a [`SimPlan`].
+//! Execution layer: drains a [`SimPlan`] through the work-stealing
+//! wave executor ([`crate::steal`]).
 //!
 //! [`execute`] is the only place the pipeline touches the engine: it
 //! fetches traces through the shared [`TraceCache`] (`Arc`-shared with
 //! every worker), instantiates the roster through the policy
 //! [`registry`](crate::registry), and drains the plan's task waves with
-//! `drain_wave` — a task-order-preserving `par_iter` map, so every
+//! `drain_wave` — [`steal::run_wave`] under the plan's task numbering,
+//! with DP sims marked heavy so they seed the per-worker deques and
+//! start first. Results are committed in task-ID order, so every
 //! reduction downstream sees results in plan order and the output is
-//! bit-identical at any thread count.
+//! bit-identical at any worker count ([`steal::workers`], settable via
+//! the CLI `--threads`).
 //!
 //! Failures are values here: a policy that cannot be instantiated for
 //! the cell (Liu's footnote-2 cases) becomes an [`Error`] stored in
 //! [`ExecOutput::policy_build`] and a column of absent cells — never a
 //! panic, never an aborted scenario. Per-stage wall-clock and work
-//! counters feed the caller's [`PipelinePerf`].
+//! counters (including the wave scheduling counters on
+//! [`PipelinePerf::exec`]) feed the caller's [`PipelinePerf`].
 
 use crate::cache::{CachedTrace, TraceCache};
 use crate::error::Error;
 use crate::perf::PipelinePerf;
 use crate::plan::{self, SimPlan, SimTask};
 use crate::scenario::{BuiltDist, Scenario};
+use crate::steal;
 use ckpt_policies::Policy;
 use ckpt_sim::lower_bound_makespan;
 use ckpt_workload::JobSpec;
-use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,39 +66,34 @@ pub struct ExecOutput {
     pub search: Option<SearchOutput>,
 }
 
-/// Drain one wave of tasks through rayon. The output preserves task
-/// order (rayon's indexed collect), which is what makes downstream
-/// reductions independent of thread count and scheduling.
-fn drain_wave<T, F>(tasks: &[SimTask], run: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(SimTask) -> T + Sync,
-{
-    tasks.par_iter().map(|&t| run(t)).collect()
+/// Is this policy kind a wave long pole (a DP sim)? Shared with the
+/// checkpointed study runner so both drains seed the same task classes
+/// into the worker deques.
+pub(crate) fn heavy_policy_kind(k: &crate::policies_spec::PolicyKind) -> bool {
+    matches!(
+        k,
+        crate::policies_spec::PolicyKind::DpNextFailure(_)
+            | crate::policies_spec::PolicyKind::DpMakespan(_)
+    )
 }
 
-/// Drain one wave with long-pole tasks scheduled first. `is_heavy` marks
-/// tasks whose runtime dominates the wave (DP policy sims); those are
-/// issued before the cheap bulk, with `with_max_len(1)` so rayon cannot
-/// glue a heavy sim to a run of cheap ones inside a single stolen chunk —
-/// a straggler that starts last serializes the whole wave's tail.
-///
-/// The schedule permutation is deterministic (stable partition on the task
-/// list) and outputs are scattered back to original task positions, so
-/// downstream reductions remain bit-identical at any thread count.
-fn drain_wave_heavy_first<T, F, H>(tasks: &[SimTask], is_heavy: H, run: F) -> Vec<T>
+/// Drain one wave through the work-stealing executor. Heavy tasks seed
+/// the per-worker deques (each worker starts on a long pole instead of
+/// trailing it — the schedule the old rayon drain approximated with a
+/// heavy-first permutation and `with_max_len(1)`); the cheap bulk
+/// drains through the shared injector. Results are committed in task
+/// order, which is what makes downstream reductions independent of
+/// worker count and scheduling; the wave's scheduling counters
+/// accumulate on `perf.exec`.
+fn drain_wave<T, F, H>(tasks: &[SimTask], perf: &mut PipelinePerf, is_heavy: H, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(SimTask) -> T + Sync,
     H: Fn(&SimTask) -> bool,
 {
-    let mut order: Vec<usize> = (0..tasks.len()).collect();
-    // Stable: heavy first, original order preserved within each class.
-    order.sort_by_key(|&i| !is_heavy(&tasks[i]));
-    let mut outputs: Vec<(usize, T)> =
-        order.par_iter().with_max_len(1).map(|&i| (i, run(tasks[i]))).collect();
-    outputs.sort_by_key(|&(i, _)| i);
-    outputs.into_iter().map(|(_, t)| t).collect()
+    let (out, stats) = steal::run_wave(tasks, steal::workers(), is_heavy, |_, &t| run(t));
+    perf.exec.get_or_insert_with(Default::default).absorb(&stats);
+    out
 }
 
 /// Per-task output of the roster wave.
@@ -138,10 +138,15 @@ pub fn execute(
     let t_stage = Instant::now();
     let stage_span = ckpt_obs::span("stage.trace_gen");
     let cache = TraceCache::global();
-    let cached: Vec<Arc<CachedTrace>> = (0..sim_plan.traces)
-        .into_par_iter()
-        .map(|idx| cache.get_or_generate(scenario, built, idx))
-        .collect();
+    let trace_tasks: Vec<usize> = (0..sim_plan.traces).collect();
+    let (cached, trace_stats) = steal::run_wave(
+        &trace_tasks,
+        steal::workers(),
+        |_| false,
+        |_, &idx| cache.get_or_generate(scenario, built, idx),
+    );
+    let cached: Vec<Arc<CachedTrace>> = cached;
+    perf.exec.get_or_insert_with(Default::default).absorb(&trace_stats);
     drop(stage_span);
     perf.push_stage("trace_gen", t_stage, sim_plan.traces as u64);
 
@@ -161,20 +166,13 @@ pub fn execute(
     let t_stage = Instant::now();
     let stage_span = ckpt_obs::span("stage.policy_sims");
     let caches_before = ckpt_policies::DpCaches::global().stats();
-    let heavy_kind = |k: &crate::policies_spec::PolicyKind| {
-        matches!(
-            k,
-            crate::policies_spec::PolicyKind::DpNextFailure(_)
-                | crate::policies_spec::PolicyKind::DpMakespan(_)
-        )
-    };
     let tasks = sim_plan.roster_wave();
     let is_heavy = |task: &SimTask| match task {
-        SimTask::Policy { policy, .. } => heavy_kind(&sim_plan.kinds[*policy]),
+        SimTask::Policy { policy, .. } => heavy_policy_kind(&sim_plan.kinds[*policy]),
         _ => false,
     };
     ckpt_obs::gauge_max("wave.roster_tasks", tasks.len() as u64);
-    let outputs = drain_wave_heavy_first(&tasks, is_heavy, |task| match task {
+    let outputs = drain_wave(&tasks, perf, is_heavy, |task| match task {
         SimTask::Policy { policy, trace } => match &policies[policy] {
             Ok(p) => {
                 // Task id = plan position: deterministic, so the merged
@@ -283,7 +281,7 @@ fn search_candidates(
             indices.iter().copied().filter(|&i| columns[i].is_none()).collect();
         let tasks = sim_plan.candidate_wave(&fresh);
         ckpt_obs::gauge_max("wave.candidate_tasks", tasks.len() as u64);
-        let outputs = drain_wave(&tasks, |task| {
+        let outputs = drain_wave(&tasks, perf, |_| false, |task| {
             let SimTask::Candidate { candidate, trace } = task else {
                 unreachable!("candidate waves contain only candidate tasks")
             };
@@ -398,5 +396,86 @@ mod tests {
         assert!(out.cells[0].iter().all(Option::is_none));
         assert_eq!(perf.policy_sims, 0);
         assert!(out.search.is_none());
+    }
+
+    /// Failure-as-value must survive the threaded drain: an unbuildable
+    /// policy at 8 workers yields the same absent column, no panic, no
+    /// hang, and the buildable sibling policy still fills every cell.
+    #[test]
+    fn unbuildable_policy_stays_a_value_under_many_workers() {
+        let year = 365.25 * 86_400.0;
+        let sc = Scenario::petascale(
+            DistSpec::Weibull { shape: 0.3, mtbf: 125.0 * year },
+            4_096,
+            4,
+        );
+        let opts = RunnerOptions { period_lb: None, lower_bound: false, ..Default::default() };
+        let sim_plan = plan_scenario(&sc, &[PolicyKind::Liu, PolicyKind::Young], &opts);
+        let built = sc.dist.build();
+        crate::steal::set_workers(8);
+        let mut perf = PipelinePerf::default();
+        let out = execute(&sc, &built, &sim_plan, &mut perf);
+        crate::steal::set_workers(0);
+        assert!(out.policy_build[0].is_err());
+        assert!(out.cells[0].iter().all(Option::is_none));
+        assert!(out.policy_build[1].is_ok());
+        assert!(out.cells[1].iter().all(Option::is_some));
+        assert_eq!(perf.policy_sims, 4);
+    }
+
+    /// The core contract of the steal executor: `execute` output is
+    /// bit-identical at 1 and 8 workers (cells, lower bounds, search
+    /// column and the deterministic perf counters alike).
+    #[test]
+    fn execute_is_bit_identical_across_worker_counts() {
+        let mut sc = tiny();
+        sc.traces = 8;
+        let opts = RunnerOptions {
+            period_lb: Some(vec![0.5, 1.0, 2.0]),
+            period_search: PeriodSearch::Full,
+            lower_bound: true,
+            sim: SimOptions::default(),
+        };
+        let kinds = [PolicyKind::Young, PolicyKind::OptExp];
+        let sim_plan = plan_scenario(&sc, &kinds, &opts);
+        let built = sc.dist.build();
+
+        let run_at = |workers: usize| {
+            crate::steal::set_workers(workers);
+            let mut perf = PipelinePerf::default();
+            let out = execute(&sc, &built, &sim_plan, &mut perf);
+            crate::steal::set_workers(0);
+            (out, perf)
+        };
+        let (seq, perf_seq) = run_at(1);
+        let (par, perf_par) = run_at(8);
+
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            for (ca, cb) in a.iter().zip(b) {
+                match (ca, cb) {
+                    (Some(ca), Some(cb)) => {
+                        assert_eq!(ca.makespan.to_bits(), cb.makespan.to_bits());
+                        assert_eq!(ca.failures, cb.failures);
+                    }
+                    (None, None) => {}
+                    _ => panic!("cell presence differs across worker counts"),
+                }
+            }
+        }
+        assert_eq!(
+            seq.lower_bounds.as_ref().map(|l| l.iter().map(|m| m.to_bits()).collect::<Vec<_>>()),
+            par.lower_bounds.as_ref().map(|l| l.iter().map(|m| m.to_bits()).collect::<Vec<_>>()),
+        );
+        let (sa, sb) = (seq.search.expect("grid"), par.search.expect("grid"));
+        assert_eq!(sa.factor.to_bits(), sb.factor.to_bits());
+        assert_eq!(
+            sa.column.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            sb.column.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+        );
+        // Work counters are schedule-independent; only perf.exec varies.
+        assert_eq!(perf_seq.policy_sims, perf_par.policy_sims);
+        assert_eq!(perf_seq.candidate_sims, perf_par.candidate_sims);
+        assert_eq!(perf_seq.decisions, perf_par.decisions);
+        assert_eq!(perf_seq.failures, perf_par.failures);
     }
 }

@@ -9,8 +9,14 @@
 //! * [`plan`] — pure planning: which sims run (roster policies,
 //!   lower-bound evals, `PeriodLB` candidates), in which waves, as
 //!   typed seed-stable [`SimTask`]s with explicit dependencies;
-//! * [`exec`] — the rayon executor draining a plan against the shared
-//!   trace [`cache`], with policy-build failures as values;
+//! * [`exec`] — the executor draining a plan against the shared trace
+//!   [`cache`] through the work-stealing wave substrate, with
+//!   policy-build failures as values;
+//! * [`steal`] — the work-stealing wave executor itself: injector +
+//!   per-worker deques + randomized stealing, with results committed
+//!   in task-ID order so output is bit-identical at any worker count
+//!   (the coordinator state machine is model-checked in
+//!   `tests/steal_model.rs`);
 //! * [`reduce`] — pure aggregation into the §4.1 *average makespan
 //!   degradation* rows;
 //! * [`runner`] — [`run_scenario`] / [`run_scenario_checked`] wiring the
@@ -64,6 +70,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod steal;
 pub mod study;
 
 pub use cache::TraceCache;

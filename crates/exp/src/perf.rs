@@ -111,6 +111,38 @@ impl ObsPerf {
     }
 }
 
+/// Wave-executor scheduling counters accumulated over one run: how the
+/// work-stealing drain ([`crate::steal`]) distributed the task waves.
+/// These describe scheduling only — results are bit-identical at any
+/// worker count — so they are reported, never golden-pinned.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ExecPerf {
+    /// Effective worker count (the largest any wave ran with).
+    pub workers: u64,
+    /// Waves drained.
+    pub waves: u64,
+    /// Claims served from a worker's own deque (seeded heavy tasks).
+    pub local_claims: u64,
+    /// Claims served from the shared injector (the cheap bulk).
+    pub injector_claims: u64,
+    /// Claims served by stealing from another worker's deque.
+    pub steals: u64,
+    /// Steal probes that found an empty victim deque.
+    pub failed_probes: u64,
+}
+
+impl ExecPerf {
+    /// Fold one wave's scheduling counters into the run totals.
+    pub fn absorb(&mut self, s: &crate::steal::WaveStats) {
+        self.workers = self.workers.max(s.workers as u64);
+        self.waves += 1;
+        self.local_claims += s.local_claims;
+        self.injector_claims += s.injector_claims;
+        self.steals += s.steals;
+        self.failed_probes += s.failed_probes;
+    }
+}
+
 /// Instrumentation for one `run_scenario` call.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct PipelinePerf {
@@ -132,6 +164,10 @@ pub struct PipelinePerf {
     /// Shared DP cache counters accumulated over the `policy_sims` stage
     /// (the executor snapshots the global caches around the wave).
     pub plan_cache: PlanCachePerf,
+    /// Wave-executor scheduling counters (worker count, claim/steal
+    /// mix). `Some` once any wave has drained; `None` is omitted from
+    /// the JSON so pre-executor documents keep their exact bytes.
+    pub exec: Option<ExecPerf>,
     /// Obs-registry counter deltas for this run. Present only while a
     /// `ckpt-obs` session records; `None` is omitted from the JSON, so
     /// the emitted bytes without a session are identical to the
@@ -246,6 +282,31 @@ mod tests {
         let p = PipelinePerf { total_seconds: f64::NEG_INFINITY, ..Default::default() };
         assert!(p.to_json().starts_with("{\"total_seconds\": null, "));
         assert_eq!(format_f64(f64::NAN), "null");
+    }
+
+    /// The wave-executor block appears only once a wave ran (`Some`),
+    /// keyed `exec`, between `plan_cache` and `obs`; `None` is omitted
+    /// (the byte-compat test above pins the omitted form).
+    #[test]
+    fn exec_block_is_optional_and_ordered() {
+        let mut p = PipelinePerf::default();
+        assert!(!p.to_json().contains("\"exec\""));
+        p.exec = Some(ExecPerf {
+            workers: 8,
+            waves: 3,
+            local_claims: 5,
+            injector_claims: 90,
+            steals: 7,
+            failed_probes: 2,
+        });
+        let j = p.to_json();
+        assert!(j.contains(
+            "\"exec\": {\"workers\": 8, \"waves\": 3, \"local_claims\": 5, \
+             \"injector_claims\": 90, \"steals\": 7, \"failed_probes\": 2}"
+        ), "{j}");
+        let plan_cache = j.find("\"plan_cache\"").expect("plan_cache present");
+        let exec = j.find("\"exec\"").expect("exec present");
+        assert!(plan_cache < exec);
     }
 
     #[test]

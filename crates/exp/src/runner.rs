@@ -364,17 +364,17 @@ mod tests {
 
     #[test]
     fn results_identical_across_thread_counts() {
-        // The pipeline must be bit-identical regardless of rayon
-        // parallelism: per-task work is independent and every reduction
-        // happens in plan order (trace index, candidate index).
+        // The pipeline must be bit-identical regardless of executor
+        // parallelism: per-task work is independent and the steal
+        // executor commits every wave in task-ID order (trace index,
+        // candidate index), whatever worker claimed what.
         let sc = tiny_scenario();
         let kinds = [PolicyKind::Young, PolicyKind::OptExp];
         let run_with = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("pool");
-            pool.install(|| run_scenario(&sc, &kinds, &fast_options()))
+            crate::steal::set_workers(threads);
+            let out = run_scenario(&sc, &kinds, &fast_options());
+            crate::steal::set_workers(0);
+            out
         };
         let one = run_with(1);
         let many = run_with(4);

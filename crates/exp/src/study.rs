@@ -9,6 +9,18 @@
 //! [`ScenarioResult`] as error rows, exactly as in
 //! [`run_scenario`](crate::runner::run_scenario).
 //!
+//! **Where the parallelism lives.** A study runs its cells
+//! *sequentially*, in input order; within each cell the runner's waves
+//! (trace generation, policy simulations, candidate sims) fan out over
+//! the work-stealing executor ([`crate::steal`]). That split is
+//! deliberate: cross-cell parallelism would interleave the shared DP
+//! plan / trace cache traffic of different cells, making the per-cell
+//! delta counters that [`Study::prewarm`] and the obs layer report
+//! unattributable — while buying nothing, since each cell's waves
+//! already saturate the worker pool. Results are worker-count-invariant
+//! either way (the executor commits in task-ID order), so only the
+//! scheduling counters, never the aggregates, depend on `--threads`.
+//!
 //! ```no_run
 //! use ckpt_exp::{DistSpec, Scenario, Study};
 //!
@@ -236,6 +248,49 @@ mod tests {
             assert_eq!(a.name, b.name);
             assert_eq!(a.mean_makespan, b.mean_makespan, "{}", a.name);
             assert_eq!(a.avg_degradation, b.avg_degradation, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn study_results_are_bit_identical_across_worker_counts() {
+        // The study-level half of the worker-invariance contract: the
+        // same batch at 1 and at 8 workers produces bitwise-equal rows.
+        // (check.sh proves the same property over the full golden study
+        // through the CLI; this pins it in-process for `cargo test`.)
+        let study = Study::new()
+            .with_kinds([PolicyKind::Young, PolicyKind::OptExp])
+            .with_options(fast_options());
+        let cells = [tiny(6.0 * 3_600.0), tiny(12.0 * 3_600.0)];
+        let run_at = |workers: usize| {
+            crate::steal::set_workers(workers);
+            let out = study.run_all(&cells);
+            crate::steal::set_workers(0);
+            out
+        };
+        let seq = run_at(1);
+        let par = run_at(8);
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.label, b.label);
+            for (ra, rb) in a.outcomes.iter().zip(&b.outcomes) {
+                assert_eq!(ra.name, rb.name);
+                assert_eq!(
+                    ra.mean_makespan.map(f64::to_bits),
+                    rb.mean_makespan.map(f64::to_bits),
+                    "{}",
+                    ra.name
+                );
+                assert_eq!(
+                    ra.avg_degradation.map(f64::to_bits),
+                    rb.avg_degradation.map(f64::to_bits),
+                    "{}",
+                    ra.name
+                );
+            }
+            assert_eq!(
+                a.period_lb_factor.map(f64::to_bits),
+                b.period_lb_factor.map(f64::to_bits)
+            );
         }
     }
 

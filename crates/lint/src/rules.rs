@@ -30,6 +30,7 @@ pub const ALL_RULES: &[&str] = &[
     "naked-transcendental-in-hot-path",
     "float-eq",
     "panicking-index-in-kernel",
+    "shared-mutable-in-exec",
     "todo-fixme-gate",
     "unknown-pragma",
 ];
@@ -81,6 +82,15 @@ pub fn default_rule_config(rule: &str) -> RuleConfig {
             rc.paths = vec!["crates/policies/src/dp_next_failure.rs".into()];
             rc.functions = vec!["solve_with_rows".into(), "compute_row".into()];
         }
+        "shared-mutable-in-exec" => {
+            // The executor layer: every cross-worker mutation must flow
+            // through the wave coordinator + task-ID-ordered commit.
+            rc.paths = vec![
+                "crates/exp/src/exec.rs".into(),
+                "crates/exp/src/steal.rs".into(),
+            ];
+            rc.skip_tests = true;
+        }
         _ => {}
     }
     debug_assert!(ALL_RULES.contains(&rule), "unregistered rule `{rule}`");
@@ -119,6 +129,11 @@ pub fn rule_summary(rule: &str) -> &'static str {
             "audited kernel functions use panicking `[]` indexing; each function \
              needs a pragma re-affirming the bounds audit after any edit"
         }
+        "shared-mutable-in-exec" => {
+            "locks/atomics/interior-mutability cells in the executor layer \
+             outside the sanctioned coordinator + ordered-commit path are new \
+             coordination channels; audit and pragma each site"
+        }
         "todo-fixme-gate" => "TODO/FIXME/XXX/HACK markers must not land on main",
         "unknown-pragma" => "a `// lint: allow(...)` pragma names an unregistered rule",
         _ => "unregistered rule",
@@ -135,6 +150,7 @@ pub fn scan(rule: &str, ctx: &FileCtx<'_>, rc: &RuleConfig) -> Vec<RawFinding> {
         "naked-transcendental-in-hot-path" => naked_transcendental(ctx),
         "float-eq" => float_eq(ctx),
         "panicking-index-in-kernel" => panicking_index_in_kernel(ctx, rc),
+        "shared-mutable-in-exec" => shared_mutable_in_exec(ctx),
         "todo-fixme-gate" => todo_fixme_gate(ctx),
         "unknown-pragma" => unknown_pragma(ctx),
         _ => Vec::new(),
@@ -592,6 +608,67 @@ fn unknown_pragma(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     out
 }
 
+// ---------------------------------------------------------------- rule 10
+
+/// Interior-mutability and synchronization types that create a shared
+/// mutable coordination channel between workers. `Atomic*` is matched
+/// by prefix below so new widths (`AtomicU8`, `AtomicI64`, …) don't
+/// slip through.
+const SHARED_MUTABLE_TYPES: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "RefCell", "Cell", "UnsafeCell", "OnceCell", "OnceLock",
+    "LazyLock",
+];
+
+/// The executor's bit-identity contract rests on *all* cross-worker
+/// mutation flowing through the wave coordinator lock and the
+/// task-ID-ordered commit. Any other lock, atomic, `static mut`, or
+/// interior-mutability cell in `exec.rs`/`steal.rs` is either a new
+/// coordination channel (audit it, then pragma the site) or a latent
+/// scheduling-dependent-results bug. `use` statements are skipped —
+/// the finding anchors where the state is *created*, not imported.
+fn shared_mutable_in_exec(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    let mut in_use = false;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind == TokenKind::Ident && tok.text == "use" {
+            in_use = true;
+        }
+        if in_use {
+            if punct_at(ctx, i, ";") {
+                in_use = false;
+            }
+            continue;
+        }
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if SHARED_MUTABLE_TYPES.contains(&name)
+            || (name.len() > "Atomic".len() && name.starts_with("Atomic"))
+        {
+            out.push(raw(
+                tok.line,
+                tok.col,
+                format!(
+                    "`{name}` is shared mutable state in the executor layer; route \
+                     coordination through the wave coordinator's ordered commit, or \
+                     audit the site and pragma it"
+                ),
+            ));
+        } else if name == "static" && ident_at(ctx, i + 1, "mut") {
+            out.push(raw(
+                tok.line,
+                tok.col,
+                "`static mut` is unsynchronized shared state in the executor layer; \
+                 use the wave coordinator, or audit the site and pragma it"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +728,31 @@ mod tests {
         let hits = scan_src("panicking-index-in-kernel", src);
         assert_eq!(hits.len(), 1, "only configured fns audited");
         assert!(hits[0].message.contains("2 line(s)"));
+    }
+
+    #[test]
+    fn shared_mutable_state_flagged_imports_not() {
+        // Creation sites fire: statics, locals, struct fields, prefix-matched atomics.
+        assert_eq!(
+            scan_src("shared-mutable-in-exec", "static N: AtomicUsize = AtomicUsize::new(0);")
+                .len(),
+            2
+        );
+        assert_eq!(
+            scan_src("shared-mutable-in-exec", "let state = parking_lot::Mutex::new(ws);").len(),
+            1
+        );
+        assert_eq!(scan_src("shared-mutable-in-exec", "struct S { hits: AtomicU8 }").len(), 1);
+        assert_eq!(scan_src("shared-mutable-in-exec", "static mut SCRATCH: [f64; 8];").len(), 1);
+        // Imports are not creation sites; plain code is clean; the bare
+        // ident `Atomic` (no width suffix) is not a sync type.
+        assert!(scan_src(
+            "shared-mutable-in-exec",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\nuse parking_lot::Mutex;\n"
+        )
+        .is_empty());
+        assert!(scan_src("shared-mutable-in-exec", "let x = buckets[w].push(out);").is_empty());
+        assert!(scan_src("shared-mutable-in-exec", "let a = Atomic::default();").is_empty());
     }
 
     #[test]

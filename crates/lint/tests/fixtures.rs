@@ -19,6 +19,7 @@ fn virtual_path(rule: &str) -> &'static str {
             "crates/policies/src/dp_next_failure.rs"
         }
         "float-eq" => "crates/dist/src/fixture.rs",
+        "shared-mutable-in-exec" => "crates/exp/src/steal.rs",
         _ => "crates/exp/src/fixture.rs",
     }
 }

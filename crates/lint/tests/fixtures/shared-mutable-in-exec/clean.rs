@@ -1,0 +1,13 @@
+// Fixture: the sanctioned shape — workers buffer results privately and
+// the coordinator-free code only imports sync types, never creates them.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn drain(tasks: &[u64]) -> Vec<u64> {
+    let mut buckets: Vec<Vec<u64>> = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        buckets[i % 4].push(*t);
+    }
+    let mut out: Vec<u64> = buckets.into_iter().flatten().collect();
+    out.sort_unstable();
+    out
+}

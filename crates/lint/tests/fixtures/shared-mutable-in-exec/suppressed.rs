@@ -1,0 +1,8 @@
+// Fixture: the audited coordinator site carries the pragma, mirroring
+// the real sanctioned lock in crates/exp/src/steal.rs.
+fn drain(n: usize) {
+    // lint: allow(shared-mutable-in-exec) — the one coordinator lock every
+    // claim/complete goes through; commit stays task-ID-ordered.
+    let state = parking_lot::Mutex::new(vec![0u64; n]);
+    state.lock().fill(1);
+}

@@ -1,0 +1,11 @@
+// Fixture: un-audited shared mutable state in the executor layer — a
+// side-channel atomic and a second lock outside the coordinator.
+static HOT_TASKS: AtomicU64 = AtomicU64::new(0);
+
+fn drain(tasks: &[u64]) {
+    let scratch = std::sync::Mutex::new(Vec::new());
+    for t in tasks {
+        HOT_TASKS.fetch_add(*t, Ordering::Relaxed);
+        scratch.lock().unwrap().push(*t);
+    }
+}

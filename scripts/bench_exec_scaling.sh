@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Executor scaling measurement: worker count × wall-clock through the
+# work-stealing executor, on the fixed bench cell (Petascale
+# Weibull(0.7, 125 y), 4096 procs) plus the two LANL log-based cells
+# (c18/c19) at the same platform size. Each (cell, threads) pair runs
+# in its OWN bench_pipeline process so a run never inherits a warm
+# plan cache or a previous worker pool from its neighbour.
+#
+# The JSON records `host_cpus` alongside the timings: on a box with
+# fewer cores than the largest worker count, the extra workers
+# time-slice one core, so the honest reading there is "no scheduling
+# collapse + bit-identity" (check.sh proves the identity half), not
+# throughput. Speedups are computed vs the 1-worker leg per cell.
+#
+# Usage: scripts/bench_exec_scaling.sh [TRACES]
+#   TRACES — per-cell trace count (default 24, the BENCH_pipeline cell)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACES=${1:-24}
+OUT=results/BENCH_exec_scaling.json
+HOST_CPUS=$(nproc)
+
+echo "== build (release) =="
+cargo build --release -q -p ckpt-exp
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+runs="[]"
+for cell in bench lanl18 lanl19; do
+  for t in 1 2 8; do
+    f="$tmpdir/${cell}_t${t}.json"
+    echo "== $cell @ --threads $t =="
+    target/release/bench_pipeline --cell "$cell" --threads "$t" \
+      --traces "$TRACES" --label "${cell}-t${t}" --search coarse --out "$f"
+    runs=$(jq --slurpfile r "$f" --arg cell "$cell" --argjson t "$t" '
+      . + [{
+        cell: $cell,
+        scenario: $r[0].cell.scenario,
+        threads: $t,
+        total_seconds: $r[0].total_seconds,
+        exec: $r[0].pipeline.exec
+      }]' <<<"$runs")
+  done
+done
+
+jq -n --argjson runs "$runs" --argjson cpus "$HOST_CPUS" --argjson traces "$TRACES" '
+  {
+    host_cpus: $cpus,
+    note: (if $cpus < 8
+      then "recorded on a \($cpus)-CPU host: worker counts beyond \($cpus) time-slice the same core(s), so wall-clock speedup is physically bounded by \($cpus)x here; this file proves the executor adds no scheduling collapse at oversubscription, and check.sh proves bit-identity at 1/2/8 workers"
+      else "worker count x wall-clock through the work-stealing executor"
+      end),
+    traces: $traces,
+    runs: ($runs | group_by(.cell) | map(
+      . as $g
+      | ($g | map(select(.threads == 1)) | .[0].total_seconds) as $t1
+      | $g | map(. + {speedup_vs_1: (($t1 / .total_seconds) * 100 | round / 100)})
+    ) | flatten)
+  }' > "$OUT"
+
+echo "== wrote $OUT =="
+jq '{host_cpus, runs: [.runs[] | {cell, threads, total_seconds, speedup_vs_1}]}' "$OUT"

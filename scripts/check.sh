@@ -14,12 +14,19 @@
 #      unwrap/expect on a library path fails this step;
 #   5. ckpt-lint — the workspace determinism & safety lint (rules and
 #      scoping in lint.toml): any deny-level finding exits non-zero;
-#   6. the kill-and-resume gate: SIGKILL the golden study at ~50%
+#   6. the worker-count invariance gate: the golden study runs at
+#      --threads 1, 2, and 8 through the work-stealing executor, and
+#      every aggregate is byte-compared against results/golden/ — the
+#      scheduler may steal differently at every count, but the
+#      task-ID-ordered commit must make the results indistinguishable;
+#   7. the kill-and-resume gate: SIGKILL the golden study at ~50%
 #      completion (the checkpointer kills its own process, so the exit
 #      code is 137), resume it from the surviving snapshot, and
 #      byte-compare the committed aggregates against results/golden/ —
 #      the durability contract, proven end-to-end through real process
-#      death rather than an in-process stop hook.
+#      death rather than an in-process stop hook. The kill leg runs at
+#      --threads 2 and the resume leg at --threads 8, so the snapshot
+#      format is also proven worker-count-portable.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -46,14 +53,28 @@ echo "== ckpt-lint (determinism & safety) =="
 cargo test -q -p ckpt-lint
 cargo run --release -q -p ckpt-lint
 
-echo "== kill-and-resume gate (SIGKILL mid-study, byte-identical resume) =="
 study_tmp=$(mktemp -d)
 trap 'rm -rf "$study_tmp"' EXIT
+
+echo "== worker-count invariance gate (golden study at 1, 2, 8 workers) =="
+for w in 1 2 8; do
+  target/release/ckpt-exp run --study golden --id "workers$w" \
+    --study-root "$study_tmp" --threads "$w"
+  for f in results/golden/*.json; do
+    if ! cmp -s "$f" "$study_tmp/workers$w/aggregate/$(basename "$f")"; then
+      echo "WORKER DRIFT: $(basename "$f") differs at --threads $w" >&2
+      exit 1
+    fi
+  done
+done
+echo "golden aggregates byte-identical at 1, 2, 8 workers"
+
+echo "== kill-and-resume gate (SIGKILL mid-study, byte-identical resume) =="
 # --checkpoint-items 4 forces several snapshots before the kill lands,
 # so the resume genuinely replays from mid-study state.
 set +e
 target/release/ckpt-exp run --study golden --id killres \
-  --study-root "$study_tmp" --checkpoint-items 4 --kill-at 0.5
+  --study-root "$study_tmp" --checkpoint-items 4 --kill-at 0.5 --threads 2
 status=$?
 set -e
 if [ "$status" -ne 137 ]; then
@@ -61,7 +82,7 @@ if [ "$status" -ne 137 ]; then
   exit 1
 fi
 target/release/ckpt-exp run --study golden --resume killres \
-  --study-root "$study_tmp" --checkpoint-items 4
+  --study-root "$study_tmp" --checkpoint-items 4 --threads 8
 for f in results/golden/*.json; do
   if ! cmp -s "$f" "$study_tmp/killres/aggregate/$(basename "$f")"; then
     echo "RESUME DRIFT: $(basename "$f") differs from committed results/golden/" >&2
