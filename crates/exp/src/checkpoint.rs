@@ -368,7 +368,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// This is the module's *only* clock read, and it gates when snapshots
 /// are written — never what they contain.
 fn clock_seconds() -> f64 {
-    // lint: allow(wall-clock-in-sim) — the study checkpointer's single sanctioned clock site, routed through ckpt_obs::clock (see lint.toml)
+    // lint: allow(wall-clock-in-sim, transitive-nondeterminism) — the study checkpointer's single sanctioned clock site, routed through ckpt_obs::clock (see lint.toml)
     ckpt_obs::clock::now_micros() as f64 / 1e6
 }
 

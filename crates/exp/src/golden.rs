@@ -14,6 +14,7 @@ use crate::perf::format_f64;
 use crate::policies_spec::PolicyKind;
 use crate::runner::{PeriodSearch, PolicyOutcome, RunnerOptions, ScenarioResult};
 use crate::scenario::{DistSpec, Scenario};
+use ckpt_policies::DpMakespanConfig;
 use ckpt_workload::YEAR;
 
 /// The cells pinned by the golden test, as `(file stem, scenario, roster,
@@ -23,8 +24,11 @@ use ckpt_workload::YEAR;
 ///
 /// Coverage: a small Petascale-Weibull cell through the default
 /// coarse-to-fine `PeriodLB` search, a sequential Exponential cell through
-/// the exhaustive search, and a cell whose `Liu` row fails to build
-/// (footnote-2 behaviour) so error rows are pinned too.
+/// the exhaustive search, a cell whose `Liu` row fails to build
+/// (footnote-2 behaviour) so error rows are pinned too, and a sequential
+/// Exponential `DPMakespan` cell so the Algorithm-1 value recursion has a
+/// pinned row (`registry-exhaustive` in ckpt-lint requires every
+/// `PolicyKind` label to appear in some golden file).
 pub fn golden_cells() -> Vec<(String, Scenario, Vec<PolicyKind>, RunnerOptions)> {
     let peta = Scenario::petascale(
         DistSpec::Weibull { shape: 0.7, mtbf: 125.0 * YEAR },
@@ -41,6 +45,12 @@ pub fn golden_cells() -> Vec<(String, Scenario, Vec<PolicyKind>, RunnerOptions)>
         1 << 12,
         4,
     );
+    let mut dp_mk = Scenario::single_processor(
+        DistSpec::Exponential { mtbf: 4.0 * 3_600.0 },
+        8,
+    );
+    dp_mk.total_work = 8.0 * 3_600.0;
+    let dp_mk_cfg = DpMakespanConfig { quanta: Some(24), assume_memoryless: true };
     vec![
         (
             peta.label.clone(),
@@ -62,6 +72,12 @@ pub fn golden_cells() -> Vec<(String, Scenario, Vec<PolicyKind>, RunnerOptions)>
             liu_gap.label.clone(),
             liu_gap,
             vec![PolicyKind::Liu, PolicyKind::Young],
+            RunnerOptions { period_lb: None, ..RunnerOptions::default() },
+        ),
+        (
+            dp_mk.label.clone(),
+            dp_mk,
+            vec![PolicyKind::Young, PolicyKind::DpMakespan(dp_mk_cfg)],
             RunnerOptions { period_lb: None, ..RunnerOptions::default() },
         ),
     ]

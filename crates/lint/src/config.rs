@@ -70,6 +70,46 @@ impl Default for RuleConfig {
     }
 }
 
+/// `[taint]` — the workspace taint pass (`transitive-nondeterminism`):
+/// where reachability starts and which sinks are sanctioned.
+#[derive(Debug, Clone, Default)]
+pub struct TaintConfig {
+    /// Qualified names of determinism roots (`ckpt_exp::exec::execute`);
+    /// every fn reachable from one must be sink-free.
+    pub roots: Vec<String>,
+    /// Qualified fn names the walk never enters (their sinks are the
+    /// audited implementation of the contract, e.g. the obs clock).
+    pub sanctioned: Vec<String>,
+    /// Path prefixes whose fns the walk never enters (whole audited
+    /// layers, e.g. the perf layer and the obs recorder).
+    pub sanctioned_paths: Vec<String>,
+}
+
+/// `[registry]` — the `registry-exhaustive` rule: which enum must stay
+/// fully registered, and where.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryConfig {
+    /// `path::EnumName` of the registry enum (`crates/exp/src/policies_spec.rs::PolicyKind`).
+    pub enum_spec: String,
+    /// `path::fn` of the label table (the `name()` match).
+    pub label_fn: String,
+    /// `path::fn` entries every variant must appear in (builder, parser).
+    pub require: Vec<String>,
+    /// Directory of golden JSON files every labelled variant must have a
+    /// row in.
+    pub golden_dir: String,
+    /// Variants exempt from `require` + golden coverage (internal
+    /// calibration-only policies); a label-table arm is still required.
+    pub internal: Vec<String>,
+}
+
+impl RegistryConfig {
+    /// Whether the rule has anything to check (an enum is configured).
+    pub fn enabled(&self) -> bool {
+        !self.enum_spec.is_empty()
+    }
+}
+
 /// Full lint configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -77,6 +117,10 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Rule name → settings; keys are exactly the registered rule names.
     pub rules: BTreeMap<String, RuleConfig>,
+    /// Workspace taint pass settings.
+    pub taint: TaintConfig,
+    /// Registry-exhaustiveness settings.
+    pub registry: RegistryConfig,
 }
 
 /// Config-file parse failure with its line number.
@@ -117,6 +161,44 @@ impl Config {
                 "crates/lint/tests/fixtures".into(),
             ],
             rules,
+            taint: TaintConfig {
+                roots: vec![
+                    // The work distribution + ordered-commit drain.
+                    "ckpt_exp::exec::execute".into(),
+                    "ckpt_exp::steal::run_wave".into(),
+                    // The sim hot loop.
+                    "ckpt_sim::engine::simulate".into(),
+                    // The aggregate commit path.
+                    "ckpt_exp::reduce::commit".into(),
+                    // The checkpoint store writer (kill-safe resume).
+                    "ckpt_exp::checkpoint::run_study".into(),
+                ],
+                sanctioned: vec![
+                    // The single audited clock behind the obs facade.
+                    "ckpt_obs::clock::now_micros".into(),
+                ],
+                sanctioned_paths: vec![
+                    // Timing wrappers around (not inside) the pipeline.
+                    "crates/exp/src/perf.rs".into(),
+                    // The obs recorder: keyed by deterministic IDs, its
+                    // internals are outside the bit-identity contract.
+                    "crates/obs/src".into(),
+                ],
+            },
+            registry: RegistryConfig {
+                enum_spec: "crates/exp/src/policies_spec.rs::PolicyKind".into(),
+                label_fn: "crates/exp/src/policies_spec.rs::name".into(),
+                require: vec![
+                    "crates/exp/src/registry.rs::build_policy".into(),
+                    "crates/exp/src/registry.rs::parse_kind".into(),
+                ],
+                golden_dir: "results/golden".into(),
+                internal: vec![
+                    // Calibration-only scaled variant: buildable, but not
+                    // CLI-parseable and deliberately absent from goldens.
+                    "OptExpScaled".into(),
+                ],
+            },
         }
     }
 
@@ -133,7 +215,7 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 let name = name.trim();
-                if name != "lint" && !name.starts_with("rule.") {
+                if name != "lint" && name != "taint" && name != "registry" && !name.starts_with("rule.") {
                     return Err(err(lineno, format!("unknown section `[{name}]`")));
                 }
                 if let Some(rule) = name.strip_prefix("rule.") {
@@ -185,6 +267,44 @@ fn apply_key(
                 Ok(())
             }
             _ => Err(err(lineno, format!("unknown key `{key}` in [lint]"))),
+        },
+        Some("taint") => match key {
+            "roots" => {
+                config.taint.roots = parse_string_array(value, lineno)?;
+                Ok(())
+            }
+            "sanctioned" => {
+                config.taint.sanctioned = parse_string_array(value, lineno)?;
+                Ok(())
+            }
+            "sanctioned_paths" => {
+                config.taint.sanctioned_paths = parse_string_array(value, lineno)?;
+                Ok(())
+            }
+            _ => Err(err(lineno, format!("unknown key `{key}` in [taint]"))),
+        },
+        Some("registry") => match key {
+            "enum" => {
+                config.registry.enum_spec = parse_string(value, lineno)?;
+                Ok(())
+            }
+            "label_fn" => {
+                config.registry.label_fn = parse_string(value, lineno)?;
+                Ok(())
+            }
+            "require" => {
+                config.registry.require = parse_string_array(value, lineno)?;
+                Ok(())
+            }
+            "golden_dir" => {
+                config.registry.golden_dir = parse_string(value, lineno)?;
+                Ok(())
+            }
+            "internal" => {
+                config.registry.internal = parse_string_array(value, lineno)?;
+                Ok(())
+            }
+            _ => Err(err(lineno, format!("unknown key `{key}` in [registry]"))),
         },
         Some(section) => {
             let rule = section.strip_prefix("rule.").unwrap_or(section);
@@ -292,6 +412,23 @@ mod tests {
         assert_eq!(r.severity, Severity::Warn);
         assert_eq!(r.paths, ["crates/sim/src", "src"]);
         assert!(r.skip_tests);
+    }
+
+    #[test]
+    fn taint_and_registry_sections_parse() {
+        let c = Config::from_toml(
+            "[taint]\nroots = [\"a::b\"]\nsanctioned = [\"c::d\"]\nsanctioned_paths = [\"crates/x/src\"]\n\n[registry]\nenum = \"f.rs::E\"\nlabel_fn = \"f.rs::name\"\nrequire = [\"g.rs::build\"]\ngolden_dir = \"results/golden\"\ninternal = [\"Scaled\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(c.taint.roots, ["a::b"]);
+        assert_eq!(c.taint.sanctioned, ["c::d"]);
+        assert_eq!(c.taint.sanctioned_paths, ["crates/x/src"]);
+        assert_eq!(c.registry.enum_spec, "f.rs::E");
+        assert_eq!(c.registry.require, ["g.rs::build"]);
+        assert_eq!(c.registry.internal, ["Scaled"]);
+        assert!(c.registry.enabled());
+        assert!(Config::from_toml("[taint]\nroot = []\n").is_err());
+        assert!(Config::from_toml("[registry]\nenumm = \"x\"\n").is_err());
     }
 
     #[test]

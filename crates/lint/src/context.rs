@@ -9,7 +9,11 @@ use crate::lexer::{matching_brace, Comment, Lexed, Token, TokenKind};
 /// both trailing (`stmt; // lint: allow(r)`) and preceding-line pragmas
 /// work. A pragma directly above a `fn`/`impl`/`mod` header therefore
 /// covers the header line — which is where block-granular rules (the
-/// kernel index audit) anchor their findings.
+/// kernel index audit) anchor their findings. Attribute lines
+/// (`#[inline]`, `#[cfg(...)]`, including multi-line attributes) do not
+/// terminate the range: the pragma documents the item header underneath,
+/// so coverage extends through attributes to the first non-attribute
+/// code line.
 #[derive(Debug, Clone)]
 pub struct Pragma {
     /// Rule names listed in the pragma (unvalidated; the
@@ -54,9 +58,16 @@ impl<'a> FileCtx<'a> {
 
     /// Whether a finding of `rule` at `line` is pragma-suppressed.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressing_pragma(rule, line).is_some()
+    }
+
+    /// Index (into [`FileCtx::pragmas`]) of the pragma suppressing
+    /// `rule` at `line`, if any. The driver records which pragmas
+    /// actually fire so `stale-pragma` can flag the rest.
+    pub fn suppressing_pragma(&self, rule: &str, line: u32) -> Option<usize> {
         self.pragmas
             .iter()
-            .any(|p| (p.start..=p.end).contains(&line) && p.rules.iter().any(|r| r == rule))
+            .position(|p| (p.start..=p.end).contains(&line) && p.rules.iter().any(|r| r == rule))
     }
 
     /// The trimmed source line `line` (1-based), for diagnostics.
@@ -98,14 +109,38 @@ fn collect_pragmas(comments: &[Comment], tokens: &[Token]) -> Vec<Pragma> {
         .iter()
         .filter_map(|c| {
             let rules = parse_pragma(&c.text)?;
-            // Suppress through the first code line after the comment (or
-            // just the comment's lines when nothing follows).
-            let next_code_line = tokens
-                .iter()
-                .find(|t| t.line > c.end_line)
-                .map(|t| t.line)
-                .unwrap_or(c.end_line);
-            Some(Pragma { rules, start: c.start_line, end: next_code_line, line: c.start_line })
+            // Suppress through the first *non-attribute* code line after
+            // the comment (or just the comment's lines when nothing
+            // follows): `#[inline]`/`#[cfg(...)]` between the pragma and
+            // the item it documents must not swallow the coverage.
+            let mut end = c.end_line;
+            let mut i = tokens.iter().position(|t| t.line > c.end_line);
+            while let Some(k) = i {
+                end = tokens[k].line;
+                if !(tokens[k].text == "#"
+                    && tokens.get(k + 1).is_some_and(|t| t.text == "["))
+                {
+                    break;
+                }
+                // Skip the (possibly multi-line) attribute to its `]`.
+                let mut depth = 0i32;
+                let mut j = k + 1;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = (j + 1 < tokens.len()).then_some(j + 1);
+            }
+            Some(Pragma { rules, start: c.start_line, end, line: c.start_line })
         })
         .collect()
 }
@@ -167,6 +202,36 @@ mod tests {
         assert!(ctx.suppressed("float-eq", 3));
         assert!(!ctx.suppressed("float-eq", 4));
         assert!(!ctx.suppressed("other-rule", 3));
+    }
+
+    #[test]
+    fn pragma_extends_through_attribute_lines() {
+        let src = "// lint: allow(panicking-index-in-kernel) — audited\n#[inline]\n#[cfg(feature = \"x\")]\nfn kernel() { let a = v[i]; }\nfn other() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        // Coverage reaches the `fn` header under both attributes…
+        assert!(ctx.suppressed("panicking-index-in-kernel", 4));
+        // …but not past it.
+        assert!(!ctx.suppressed("panicking-index-in-kernel", 5));
+    }
+
+    #[test]
+    fn pragma_extends_through_multiline_attributes() {
+        let src = "// lint: allow(shared-mutable-in-exec) — coordinator\n#[cfg(any(\n    feature = \"a\",\n    feature = \"b\",\n))]\nstatic N: AtomicUsize = AtomicUsize::new(0);\nstatic M: AtomicUsize = AtomicUsize::new(0);\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert!(ctx.suppressed("shared-mutable-in-exec", 6));
+        assert!(!ctx.suppressed("shared-mutable-in-exec", 7));
+    }
+
+    #[test]
+    fn suppressing_pragma_reports_the_index() {
+        let src = "// lint: allow(float-eq)\nlet x = a == 0.0;\n// lint: allow(todo-fixme-gate)\nlet y = 1;\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::build("x.rs", src, &lexed);
+        assert_eq!(ctx.suppressing_pragma("float-eq", 2), Some(0));
+        assert_eq!(ctx.suppressing_pragma("todo-fixme-gate", 4), Some(1));
+        assert_eq!(ctx.suppressing_pragma("float-eq", 4), None);
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Finding model and the two output formats: rustc-style text and
 //! machine-readable JSON (hand-emitted — the linter is dependency-free).
+//!
+//! JSON document version 2: workspace-analysis fields (per-finding
+//! `chain`, top-level `chains`, `rules` counts, `index` stats, the
+//! `sanctioned` inventory) joined the version-1 shape. `wall_time_s` is
+//! emitted only under `--timing`, so the default output stays
+//! byte-deterministic for a given tree.
 
 use crate::config::Severity;
+use crate::index::IndexStats;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One confirmed finding after path/test/pragma filtering.
@@ -21,6 +29,35 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line.
     pub snippet: String,
+    /// Root→sink call chain (workspace taint findings only), rendered as
+    /// `qualified (def path:line) [called at path:line]` steps.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A chain-less finding (every per-file rule).
+    pub fn new(
+        rule: String,
+        severity: Severity,
+        path: String,
+        line: u32,
+        col: u32,
+        message: String,
+        snippet: String,
+    ) -> Finding {
+        Finding { rule, severity, path, line, col, message, snippet, chain: Vec::new() }
+    }
+}
+
+/// One pragma site for the sanctioned-site inventory.
+#[derive(Debug, Clone)]
+pub struct PragmaSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// Rules the pragma allows.
+    pub rules: Vec<String>,
 }
 
 /// Aggregated run result.
@@ -32,6 +69,19 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings silenced by `// lint: allow(...)` pragmas.
     pub suppressed: usize,
+    /// Per-rule counters: rule → (findings, suppressed).
+    pub rule_counts: BTreeMap<String, (usize, usize)>,
+    /// Workspace index stats (absent when only a single file was linted).
+    pub index_stats: Option<IndexStats>,
+    /// `[taint]` sanctioned fns, for the inventory.
+    pub sanctioned_fns: Vec<String>,
+    /// `[taint]` sanctioned path prefixes.
+    pub sanctioned_paths: Vec<String>,
+    /// Every pragma in the tree (the audited-site inventory).
+    pub pragma_sites: Vec<PragmaSite>,
+    /// Analysis wall time in seconds; set only under `--timing` so the
+    /// default output stays deterministic.
+    pub wall_time_s: Option<f64>,
 }
 
 impl Report {
@@ -45,6 +95,18 @@ impl Report {
         self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
     }
 
+    /// Record one finding in the per-rule counters and the list.
+    pub fn push_finding(&mut self, f: Finding) {
+        self.rule_counts.entry(f.rule.clone()).or_default().0 += 1;
+        self.findings.push(f);
+    }
+
+    /// Record one pragma suppression for `rule`.
+    pub fn count_suppressed(&mut self, rule: &str) {
+        self.suppressed += 1;
+        self.rule_counts.entry(rule.to_string()).or_default().1 += 1;
+    }
+
     /// rustc-style human output plus a one-line summary.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -53,6 +115,12 @@ impl Report {
             let _ = writeln!(out, "  --> {}:{}:{}", f.path, f.line, f.col);
             if !f.snippet.is_empty() {
                 let _ = writeln!(out, "   |  {}", f.snippet);
+            }
+            if !f.chain.is_empty() {
+                let _ = writeln!(out, "   = note: call chain:");
+                for (i, step) in f.chain.iter().enumerate() {
+                    let _ = writeln!(out, "   =   {}{}", "  ".repeat(i), step);
+                }
             }
         }
         let _ = writeln!(
@@ -67,9 +135,9 @@ impl Report {
         out
     }
 
-    /// Machine-readable JSON document.
+    /// Machine-readable JSON document (version 2).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -77,7 +145,7 @@ impl Report {
             let _ = write!(
                 out,
                 "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
-                 \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                 \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"",
                 escape_json(&f.rule),
                 f.severity.as_str(),
                 escape_json(&f.path),
@@ -86,13 +154,111 @@ impl Report {
                 escape_json(&f.message),
                 escape_json(&f.snippet),
             );
+            if !f.chain.is_empty() {
+                out.push_str(", \"chain\": [");
+                for (j, step) in f.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\"", escape_json(step));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         if !self.findings.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"chains\": [");
+        let chained: Vec<&Finding> = self.findings.iter().filter(|f| !f.chain.is_empty()).collect();
+        for (i, f) in chained.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"steps\": [",
+                escape_json(&f.rule),
+                escape_json(&f.path),
+                f.line,
+            );
+            for (j, step) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", escape_json(step));
+            }
+            out.push_str("]}");
+        }
+        if !chained.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"rules\": {");
+        for (i, (rule, (found, suppressed))) in self.rule_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"findings\": {found}, \"suppressed\": {suppressed}}}",
+                escape_json(rule),
+            );
+        }
+        if !self.rule_counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},");
+        if let Some(s) = self.index_stats {
+            let _ = write!(
+                out,
+                "\n  \"index\": {{\"files_indexed\": {}, \"fns\": {}, \"imports\": {}, \
+                 \"call_sites\": {}, \"resolved_edges\": {}, \"unresolved_calls\": {}}},",
+                s.files_indexed, s.fns, s.imports, s.call_sites, s.resolved_edges, s.unresolved_calls,
+            );
+        }
+        out.push_str("\n  \"sanctioned\": {\"fns\": [");
+        for (i, f) in self.sanctioned_fns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape_json(f));
+        }
+        out.push_str("], \"paths\": [");
+        for (i, p) in self.sanctioned_paths.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape_json(p));
+        }
+        out.push_str("], \"pragmas\": [");
+        for (i, p) in self.pragma_sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"path\": \"{}\", \"line\": {}, \"rules\": [",
+                escape_json(&p.path),
+                p.line,
+            );
+            for (j, r) in p.rules.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", escape_json(r));
+            }
+            out.push_str("]}");
+        }
+        if !self.pragma_sites.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]},");
+        if let Some(t) = self.wall_time_s {
+            let _ = write!(out, "\n  \"wall_time_s\": {t:.3},");
+        }
         let _ = write!(
             out,
-            "],\n  \"summary\": {{\"files_scanned\": {}, \"deny\": {}, \"warn\": {}, \
+            "\n  \"summary\": {{\"files_scanned\": {}, \"deny\": {}, \"warn\": {}, \
              \"suppressed\": {}}}\n}}",
             self.files_scanned,
             self.deny_count(),
@@ -127,20 +293,30 @@ mod tests {
     use super::*;
 
     fn finding() -> Finding {
-        Finding {
-            rule: "float-eq".into(),
-            severity: Severity::Deny,
-            path: "crates/math/src/roots.rs".into(),
-            line: 14,
-            col: 11,
-            message: "`==` against a float \"constant\"".into(),
-            snippet: "if fa == 0.0 {".into(),
+        Finding::new(
+            "float-eq".into(),
+            Severity::Deny,
+            "crates/math/src/roots.rs".into(),
+            14,
+            11,
+            "`==` against a float \"constant\"".into(),
+            "if fa == 0.0 {".into(),
+        )
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        let mut r = Report { files_scanned: 3, ..Report::default() };
+        for f in findings {
+            r.push_finding(f);
         }
+        r.count_suppressed("float-eq");
+        r.count_suppressed("wall-clock-in-sim");
+        r
     }
 
     #[test]
     fn human_output_is_rustc_shaped() {
-        let r = Report { findings: vec![finding()], files_scanned: 3, suppressed: 2 };
+        let r = report(vec![finding()]);
         let s = r.render_human();
         assert!(s.contains("deny[float-eq]:"));
         assert!(s.contains("--> crates/math/src/roots.rs:14:11"));
@@ -148,18 +324,49 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_and_counts() {
-        let r = Report { findings: vec![finding()], files_scanned: 3, suppressed: 2 };
+    fn json_escapes_counts_and_rule_breakdown() {
+        let r = report(vec![finding()]);
         let s = r.render_json();
+        assert!(s.contains("\"version\": 2"));
         assert!(s.contains("\\\"constant\\\""));
         assert!(s.contains("\"deny\": 1"));
         assert!(s.contains("\"suppressed\": 2"));
+        assert!(s.contains("\"float-eq\": {\"findings\": 1, \"suppressed\": 1}"));
+        assert!(s.contains("\"wall-clock-in-sim\": {\"findings\": 0, \"suppressed\": 1}"));
+        assert!(!s.contains("wall_time_s"), "deterministic by default");
         assert_eq!(escape_json("a\nb\"c\\d"), "a\\nb\\\"c\\\\d");
     }
 
     #[test]
-    fn empty_report_renders_empty_array() {
-        let r = Report { findings: vec![], files_scanned: 0, suppressed: 0 };
-        assert!(r.render_json().contains("\"findings\": []"));
+    fn chains_render_in_both_formats() {
+        let mut f = finding();
+        f.rule = "transitive-nondeterminism".into();
+        f.chain = vec![
+            "ckpt_exp::exec::execute (crates/exp/src/exec.rs:63)".into(),
+            "ckpt_helpers::stamp (crates/helpers/src/lib.rs:1) called at crates/exp/src/exec.rs:120".into(),
+        ];
+        let r = report(vec![f]);
+        let human = r.render_human();
+        assert!(human.contains("note: call chain:"));
+        assert!(human.contains("ckpt_helpers::stamp"));
+        let json = r.render_json();
+        assert!(json.contains("\"chains\": [\n    {\"rule\": \"transitive-nondeterminism\""));
+        assert!(json.contains("\"chain\": ["));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let r = Report::default();
+        let s = r.render_json();
+        assert!(s.contains("\"findings\": []"));
+        assert!(s.contains("\"chains\": []"));
+        assert!(s.contains("\"pragmas\": []"));
+    }
+
+    #[test]
+    fn wall_time_appears_only_when_set() {
+        let mut r = Report::default();
+        r.wall_time_s = Some(1.25);
+        assert!(r.render_json().contains("\"wall_time_s\": 1.250,"));
     }
 }

@@ -1,31 +1,39 @@
 //! `ckpt-lint` CLI.
 //!
 //! ```text
-//! ckpt-lint [--json] [--root DIR] [--config FILE] [--list-rules]
+//! ckpt-lint [--json] [--timing] [--root DIR] [--config FILE] [--list-rules]
 //! ```
 //!
 //! Exit status: 0 = no deny-level findings, 1 = deny-level findings,
 //! 2 = usage/config/io error.
+//!
+//! `--timing` adds the analysis wall time to the output; without it the
+//! output is byte-deterministic for a given tree (the `check.sh` gates
+//! rely on that).
 
 use ckpt_lint::{config::Config, load_config, run_workspace, rules, walk};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     json: bool,
+    timing: bool,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     list_rules: bool,
 }
 
-const USAGE: &str = "usage: ckpt-lint [--json] [--root DIR] [--config FILE] [--list-rules]";
+const USAGE: &str =
+    "usage: ckpt-lint [--json] [--timing] [--root DIR] [--config FILE] [--list-rules]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { json: false, root: None, config: None, list_rules: false };
+    let mut args = Args { json: false, timing: false, root: None, config: None, list_rules: false };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--timing" => args.timing = true,
             "--root" => {
                 args.root = Some(PathBuf::from(
                     it.next().ok_or_else(|| "--root needs a directory".to_string())?,
@@ -93,18 +101,25 @@ fn main() -> ExitCode {
         },
     };
 
-    let report = match run_workspace(&root, &config) {
+    let started = Instant::now();
+    let mut report = match run_workspace(&root, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ckpt-lint: walk failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if args.timing {
+        report.wall_time_s = Some(started.elapsed().as_secs_f64());
+    }
 
     if args.json {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_human());
+        if let Some(t) = report.wall_time_s {
+            println!("ckpt-lint: analysis took {t:.3} s");
+        }
     }
 
     if report.deny_count() > 0 {

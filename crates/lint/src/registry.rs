@@ -1,0 +1,400 @@
+//! The `registry-exhaustive` workspace rule.
+//!
+//! ROADMAP item 4 grows the policy roster from the successor literature;
+//! each new family is one `PolicyKind` variant that must be registered in
+//! four places before it is real: the builder (`build_policy`), the CLI
+//! parser (`parse_kind`), the label table (`name()`), and a golden result
+//! row. A variant present in some but not all of them "half-registers" —
+//! buildable but unparseable, or labelled but never pinned — and the gap
+//! only surfaces when a study silently drops the policy. This pass makes
+//! the gap a deny finding at the variant's declaration line.
+//!
+//! All checks are lexical, like the rest of the linter: variants are the
+//! depth-0 idents of the enum body, "appears in fn" is ident presence in
+//! the fn's token body, and the golden check greps the label (as a JSON
+//! string) across the golden files. `internal` variants (calibration-only
+//! policies, deliberately unparseable and unpinned) are exempt from the
+//! builder/parser and golden checks but still need a label arm.
+
+use crate::config::RegistryConfig;
+use crate::lexer::{matching_brace, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// A raw registry finding (path-addressed: the enum file may itself be
+/// missing, which is a finding, not a crash).
+#[derive(Debug)]
+pub struct RegistryFinding {
+    /// Workspace-relative path the finding anchors in.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Defect statement.
+    pub message: String,
+}
+
+/// One enum variant with its declaration site.
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    line: u32,
+    col: u32,
+}
+
+/// Run the pass over the lexed workspace (`files` parallel pairs) plus
+/// the golden JSON texts. Returns findings sorted by (path, line, col).
+pub fn check(
+    files: &[(String, &Lexed)],
+    golden: &[(String, String)],
+    cfg: &RegistryConfig,
+) -> Vec<RegistryFinding> {
+    let mut out = Vec::new();
+    let Some((enum_path, enum_name)) = cfg.enum_spec.rsplit_once("::") else {
+        return vec![RegistryFinding {
+            path: "lint.toml".into(),
+            line: 1,
+            col: 1,
+            message: format!("[registry] enum spec `{}` is not `path::EnumName`", cfg.enum_spec),
+        }];
+    };
+
+    let variants = match find_file(files, enum_path).and_then(|l| enum_variants(l, enum_name)) {
+        Some(v) => v,
+        None => {
+            return vec![RegistryFinding {
+                path: enum_path.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "[registry] enum `{enum_name}` not found in `{enum_path}` — \
+                     fix lint.toml or restore the enum"
+                ),
+            }];
+        }
+    };
+
+    // Ident sets of the required fns; a missing fn is itself a finding.
+    let mut require_sets: Vec<(String, Option<BTreeSet<String>>)> = Vec::new();
+    for spec in &cfg.require {
+        let set = fn_spec_body(files, spec).map(ident_set);
+        if set.is_none() {
+            out.push(RegistryFinding {
+                path: enum_path.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "[registry] required fn `{spec}` not found — fix lint.toml or \
+                     restore the fn"
+                ),
+            });
+        }
+        require_sets.push((spec.clone(), set));
+    }
+
+    // Label arms of the label fn: variant → label string.
+    let labels = fn_spec_body(files, &cfg.label_fn).map(label_arms);
+    if labels.is_none() {
+        out.push(RegistryFinding {
+            path: enum_path.to_string(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "[registry] label fn `{}` not found — fix lint.toml or restore it",
+                cfg.label_fn
+            ),
+        });
+    }
+
+    let golden_text: String = golden.iter().map(|(_, t)| t.as_str()).collect();
+    for v in &variants {
+        let internal = cfg.internal.iter().any(|i| i == &v.name);
+        if !internal {
+            for (spec, set) in &require_sets {
+                if let Some(set) = set {
+                    if !set.contains(&v.name) {
+                        out.push(RegistryFinding {
+                            path: enum_path.to_string(),
+                            line: v.line,
+                            col: v.col,
+                            message: format!(
+                                "variant `{}` of `{enum_name}` is missing from `{spec}`; \
+                                 register it everywhere or list it internal",
+                                v.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let label = labels.as_ref().and_then(|m| {
+            m.iter().find(|(name, _)| name == &v.name).map(|(_, l)| l.clone())
+        });
+        match label {
+            None if labels.is_some() => out.push(RegistryFinding {
+                path: enum_path.to_string(),
+                line: v.line,
+                col: v.col,
+                message: format!(
+                    "variant `{}` of `{enum_name}` has no arm in the label table `{}`",
+                    v.name, cfg.label_fn
+                ),
+            }),
+            // A golden row is a JSON string equal to the label.
+            Some(label) if !internal && !golden_text.contains(&format!("\"{label}\"")) => {
+                out.push(RegistryFinding {
+                    path: enum_path.to_string(),
+                    line: v.line,
+                    col: v.col,
+                    message: format!(
+                        "variant `{}` (label \"{label}\") has no row in any golden \
+                         file under `{}`; add a golden cell or list it internal",
+                        v.name, cfg.golden_dir
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col, &a.message).cmp(&(&b.path, b.line, b.col, &b.message)));
+    out
+}
+
+fn find_file<'a>(files: &[(String, &'a Lexed)], path: &str) -> Option<&'a Lexed> {
+    files.iter().find(|(p, _)| p == path).map(|(_, l)| *l)
+}
+
+/// Variants of `enum name { ... }`: depth-0 idents of the body, with
+/// `#[...]` attributes and payload parens/braces skipped.
+fn enum_variants(lexed: &Lexed, name: &str) -> Option<Vec<Variant>> {
+    let t = &lexed.tokens;
+    let pos = (0..t.len().saturating_sub(1)).find(|&i| {
+        t[i].kind == TokenKind::Ident
+            && t[i].text == "enum"
+            && t[i + 1].kind == TokenKind::Ident
+            && t[i + 1].text == name
+    })?;
+    let open = (pos + 2..t.len()).find(|&k| t[k].text == "{")?;
+    let close = matching_brace(t, open)?;
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    let mut expect_variant = true;
+    while k < close {
+        let tok = &t[k];
+        match tok.text.as_str() {
+            "#" if t.get(k + 1).is_some_and(|n| n.text == "[") => {
+                k = skip_bracketed(t, k + 1, close);
+                continue;
+            }
+            "(" | "{" | "[" => {
+                k = skip_group(t, k, close);
+                continue;
+            }
+            "," => expect_variant = true,
+            _ if tok.kind == TokenKind::Ident && expect_variant => {
+                out.push(Variant { name: tok.text.clone(), line: tok.line, col: tok.col });
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some(out)
+}
+
+/// Skip from an opening delimiter at `k` to just past its close.
+fn skip_group(t: &[Token], k: usize, limit: usize) -> usize {
+    let (open, close) = match t[k].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0i32;
+    let mut j = k;
+    while j < limit {
+        if t[j].text == open {
+            depth += 1;
+        } else if t[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    limit
+}
+
+/// Skip a `[...]` starting at `k` (the `[`), to just past the `]`.
+fn skip_bracketed(t: &[Token], k: usize, limit: usize) -> usize {
+    skip_group(t, k, limit)
+}
+
+/// Token body of `path::fn_name`, located anywhere in that file.
+fn fn_spec_body<'a>(files: &[(String, &'a Lexed)], spec: &str) -> Option<&'a [Token]> {
+    let (path, fn_name) = spec.rsplit_once("::")?;
+    let lexed = find_file(files, path)?;
+    let t = &lexed.tokens;
+    let pos = (0..t.len().saturating_sub(1)).find(|&i| {
+        t[i].kind == TokenKind::Ident
+            && t[i].text == "fn"
+            && t[i + 1].kind == TokenKind::Ident
+            && t[i + 1].text == fn_name
+    })?;
+    let open = (pos + 2..t.len()).find(|&k| t[k].text == "{")?;
+    let close = matching_brace(t, open)?;
+    Some(&t[open + 1..close])
+}
+
+fn ident_set(body: &[Token]) -> BTreeSet<String> {
+    body.iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// `Self::Variant … => "label"` arms of the label fn: for each variant
+/// the first string literal before the next arm. Arms whose expression
+/// holds no string literal (computed labels, e.g. `format!` with a
+/// prefix) record the format string instead — good enough for the
+/// golden grep, and `internal` variants never reach it.
+fn label_arms(body: &[Token]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut k = 0usize;
+    while k + 2 < body.len() {
+        let is_arm_head = body[k].kind == TokenKind::Ident
+            && body[k].text == "Self"
+            && body[k + 1].text == "::"
+            && body[k + 2].kind == TokenKind::Ident;
+        if !is_arm_head {
+            k += 1;
+            continue;
+        }
+        let variant = body[k + 2].text.clone();
+        // Scan the arm (up to the next `Self::` head) for a string.
+        let mut j = k + 3;
+        let mut label = None;
+        while j < body.len() {
+            if body[j].kind == TokenKind::Ident
+                && body[j].text == "Self"
+                && body.get(j + 1).is_some_and(|n| n.text == "::")
+            {
+                break;
+            }
+            if label.is_none() && body[j].kind == TokenKind::Str {
+                label = Some(body[j].text.trim_matches('"').to_string());
+            }
+            j += 1;
+        }
+        if !out.iter().any(|(v, _)| v == &variant) {
+            out.push((variant, label.unwrap_or_default()));
+        }
+        k = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const ENUM_SRC: &str = "\
+/// Roster.
+pub enum Kind {
+    Young,
+    #[allow(dead_code)]
+    Daly { low: bool },
+    Dp(DpConfig),
+    Scaled(f64),
+}
+impl Kind {
+    pub fn name(&self) -> String {
+        match self {
+            Self::Young => \"Young\".into(),
+            Self::Daly { low } => \"Daly\".into(),
+            Self::Dp(_) => \"DP\".into(),
+            Self::Scaled(f) => format!(\"OptExp*{f:.4}\"),
+        }
+    }
+}
+";
+
+    fn cfg() -> RegistryConfig {
+        RegistryConfig {
+            enum_spec: "spec.rs::Kind".into(),
+            label_fn: "spec.rs::name".into(),
+            require: vec!["reg.rs::build".into(), "reg.rs::parse".into()],
+            golden_dir: "results/golden".into(),
+            internal: vec!["Scaled".into()],
+        }
+    }
+
+    fn run(reg_src: &str, golden: &str) -> Vec<String> {
+        let spec = lex(ENUM_SRC);
+        let reg = lex(reg_src);
+        let files = vec![("spec.rs".to_string(), &spec), ("reg.rs".to_string(), &reg)];
+        check(&files, &[("g.json".into(), golden.into())], &cfg())
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    const REG_OK: &str = "\
+fn build(k: &Kind) { match k { Kind::Young => (), Kind::Daly { .. } => (), Kind::Dp(_) => (), Kind::Scaled(_) => () } }
+fn parse(s: &str) { let _ = [\"young\", \"daly\", \"dp\"]; if s == \"x\" { Young; Daly; Dp; } }
+";
+
+    #[test]
+    fn fully_registered_roster_is_clean() {
+        let msgs = run(REG_OK, "{\"name\": \"Young\"}{\"name\": \"Daly\"}{\"name\": \"DP\"}");
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn attribute_and_payload_tokens_are_not_variants() {
+        let spec = lex(ENUM_SRC);
+        let vs = enum_variants(&spec, "Kind").expect("enum");
+        let names: Vec<_> = vs.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Young", "Daly", "Dp", "Scaled"]);
+    }
+
+    #[test]
+    fn missing_registration_parser_label_and_golden_row_fire() {
+        // `Dp` absent from parse; `Daly` has no golden row.
+        let reg = "\
+fn build(k: &Kind) { match k { Kind::Young => (), Kind::Daly { .. } => (), Kind::Dp(_) => (), Kind::Scaled(_) => () } }
+fn parse(s: &str) { let _ = (Young, Daly); }
+";
+        let msgs = run(reg, "{\"name\": \"Young\"}{\"name\": \"DP\"}");
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`Dp`") && m.contains("reg.rs::parse")));
+        assert!(msgs.iter().any(|m| m.contains("`Daly`") && m.contains("no row")));
+    }
+
+    #[test]
+    fn internal_variants_skip_require_and_golden_but_need_a_label() {
+        // Scaled missing from both require fns and goldens: clean (internal).
+        let msgs = run(REG_OK, "{\"name\": \"Young\"}{\"name\": \"Daly\"}{\"name\": \"DP\"}");
+        assert!(msgs.is_empty(), "{msgs:?}");
+        // But an internal variant without a label arm still fires.
+        let mut c = cfg();
+        c.internal.push("Dp".into());
+        let spec_src = ENUM_SRC.replace("            Self::Scaled(f) => format!(\"OptExp*{f:.4}\"),\n", "");
+        let spec = lex(&spec_src);
+        let reg = lex(REG_OK);
+        let files = vec![("spec.rs".to_string(), &spec), ("reg.rs".to_string(), &reg)];
+        let msgs: Vec<String> = check(&files, &[], &c).into_iter().map(|f| f.message).collect();
+        assert!(msgs.iter().any(|m| m.contains("`Scaled`") && m.contains("label table")), "{msgs:?}");
+    }
+
+    #[test]
+    fn missing_enum_or_fn_is_config_rot_not_a_crash() {
+        let reg = lex(REG_OK);
+        let files = vec![("reg.rs".to_string(), &reg)];
+        let msgs: Vec<String> =
+            check(&files, &[], &cfg()).into_iter().map(|f| f.message).collect();
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("enum `Kind` not found"));
+    }
+}

@@ -21,7 +21,9 @@ pub struct RawFinding {
     pub message: String,
 }
 
-/// Every registered rule, in reporting order.
+/// Every registered rule, in reporting order. The last three are
+/// workspace rules: they run on the cross-file index/graph in
+/// [`crate::lint_files`], not in the per-file [`scan`] dispatcher.
 pub const ALL_RULES: &[&str] = &[
     "unordered-float-reduce",
     "nondeterministic-iteration",
@@ -33,7 +35,15 @@ pub const ALL_RULES: &[&str] = &[
     "shared-mutable-in-exec",
     "todo-fixme-gate",
     "unknown-pragma",
+    "transitive-nondeterminism",
+    "stale-pragma",
+    "registry-exhaustive",
 ];
+
+/// The subset of [`ALL_RULES`] that runs on the workspace index/graph
+/// instead of a single file's token stream.
+pub const WORKSPACE_RULES: &[&str] =
+    &["transitive-nondeterminism", "stale-pragma", "registry-exhaustive"];
 
 /// Baked-in default scoping per rule; `lint.toml` overrides.
 pub fn default_rule_config(rule: &str) -> RuleConfig {
@@ -91,6 +101,11 @@ pub fn default_rule_config(rule: &str) -> RuleConfig {
             ];
             rc.skip_tests = true;
         }
+        "transitive-nondeterminism" => {
+            // Scoping is by sink site; the [taint] section owns roots and
+            // sanctioned sinks. Test fns never enter the index.
+            rc.skip_tests = true;
+        }
         _ => {}
     }
     debug_assert!(ALL_RULES.contains(&rule), "unregistered rule `{rule}`");
@@ -136,6 +151,21 @@ pub fn rule_summary(rule: &str) -> &'static str {
         }
         "todo-fixme-gate" => "TODO/FIXME/XXX/HACK markers must not land on main",
         "unknown-pragma" => "a `// lint: allow(...)` pragma names an unregistered rule",
+        "transitive-nondeterminism" => {
+            "no call path from a [taint] determinism root (exec drain, sim hot \
+             loop, reduce commit, checkpoint writer) may reach an unsanctioned \
+             nondeterminism sink (wall-clock read, entropy RNG, hash-order \
+             iteration, unordered float reduction) — the full chain is reported"
+        }
+        "stale-pragma" => {
+            "a `// lint: allow(...)` entry that suppresses no finding is dead \
+             audit trail; delete it so the sanctioned-site inventory stays honest"
+        }
+        "registry-exhaustive" => {
+            "every [registry] enum variant must carry a label-table arm and \
+             (unless listed internal) appear in the builder/parser fns and in a \
+             golden result row — new policies cannot half-register"
+        }
         _ => "unregistered rule",
     }
 }
@@ -183,7 +213,7 @@ const UNORDERED_SINKS: &[&str] = &["sum", "reduce", "fold", "product"];
 /// not bit-stable across thread counts. (A reduction stored and summed
 /// in a later statement escapes this scanner — the ordered-drain
 /// executor is the sanctioned pattern either way.)
-fn unordered_float_reduce(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+pub(crate) fn unordered_float_reduce(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     let t = ctx.tokens;
     let mut out = Vec::new();
     for i in 0..t.len() {
@@ -304,7 +334,7 @@ fn hash_bound_names(ctx: &FileCtx<'_>) -> Vec<String> {
 
 /// Iterating a hash container: hash order differs between processes
 /// (`RandomState` is seeded) and so between any two study runs.
-fn nondeterministic_iteration(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+pub(crate) fn nondeterministic_iteration(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     let t = ctx.tokens;
     let names = hash_bound_names(ctx);
     if names.is_empty() {

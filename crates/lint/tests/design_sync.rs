@@ -1,0 +1,48 @@
+//! The DESIGN.md rule table stays in sync with the binary: every rule
+//! in `ALL_RULES` appears as a `| `rule` | summary |` row whose summary
+//! is exactly `rule_summary` — the same text `--list-rules` prints — in
+//! the same order, with no extra rows.
+
+use ckpt_lint::rules::{rule_summary, ALL_RULES};
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn design_rule_table_matches_list_rules() {
+    let design = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("DESIGN.md");
+    let text = fs::read_to_string(&design).expect("read DESIGN.md");
+
+    // The rule table is the one headed `| rule | contract |`; rows look
+    // like: | `rule-name` | summary text |
+    let mut lines = text.lines().skip_while(|l| l.trim() != "| rule | contract |");
+    assert!(lines.next().is_some(), "DESIGN.md lost the `| rule | contract |` table");
+    let rows: Vec<(String, String)> = lines
+        .skip(1) // the |---|---| separator
+        .map_while(|l| {
+            let body = l.trim().strip_prefix("| `")?;
+            let (rule, rest) = body.split_once("` | ")?;
+            let summary = rest.strip_suffix(" |")?;
+            Some((rule.to_string(), summary.to_string()))
+        })
+        .collect();
+
+    assert_eq!(
+        rows.len(),
+        ALL_RULES.len(),
+        "DESIGN.md rule table has {} rows, the linter registers {} rules",
+        rows.len(),
+        ALL_RULES.len()
+    );
+    for (row, rule) in rows.iter().zip(ALL_RULES) {
+        assert_eq!(&row.0, rule, "DESIGN.md table order diverges from ALL_RULES");
+        assert_eq!(
+            row.1,
+            rule_summary(rule),
+            "DESIGN.md summary for `{rule}` diverges from rule_summary/--list-rules"
+        );
+    }
+}

@@ -1,12 +1,18 @@
-//! Fixture-based rule tests: every rule ships a true-positive
+//! Fixture-based rule tests: every per-file rule ships a true-positive
 //! (`violation.rs`), a clean file (`clean.rs`), and a pragma-suppressed
-//! file (`suppressed.rs`) under `tests/fixtures/<rule>/`. The fixtures
-//! are inert data — `lint.toml` excludes the tree from workspace runs
-//! and cargo never compiles them — so they can contain deliberate
-//! violations without tripping the real gate.
+//! file (`suppressed.rs`) under `tests/fixtures/<rule>/`. Workspace
+//! rules (taint, stale-pragma, registry) need the cross-file view, so
+//! their fixtures are *directories* — `violation/`, `clean/`,
+//! `suppressed/` — holding `.rs` files whose first line is a
+//! `//@path <workspace-relative path>` header (stripped before
+//! linting), plus `.json` golden documents for the registry pass. The
+//! fixtures are inert data — `lint.toml` excludes the tree from
+//! workspace runs and cargo never compiles them — so they can contain
+//! deliberate violations without tripping the real gate.
 
 use ckpt_lint::config::Config;
-use ckpt_lint::lint_source;
+use ckpt_lint::rules::WORKSPACE_RULES;
+use ckpt_lint::{lint_files, lint_source};
 use std::fs;
 use std::path::Path;
 
@@ -39,13 +45,87 @@ fn findings_of(rule: &str, which: &str) -> (usize, usize) {
     (hits, out.suppressed)
 }
 
+/// Load a workspace-rule directory fixture: `(virtual path, source)`
+/// pairs from the `//@path`-headed `.rs` files, plus `(name, text)`
+/// golden pairs from any `.json` files.
+fn dir_fixture(rule: &str, which: &str) -> (Vec<(String, String)>, Vec<(String, String)>) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rule).join(which);
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    let mut files = Vec::new();
+    let mut golden = Vec::new();
+    for path in entries {
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        if path.extension().is_some_and(|e| e == "json") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            golden.push((name, text));
+            continue;
+        }
+        let (head, rest) = text
+            .split_once('\n')
+            .unwrap_or_else(|| panic!("{}: empty fixture", path.display()));
+        let vpath = head
+            .strip_prefix("//@path ")
+            .unwrap_or_else(|| panic!("{}: first line must be `//@path …`", path.display()))
+            .trim()
+            .to_string();
+        files.push((vpath, rest.to_string()));
+    }
+    (files, golden)
+}
+
+/// Workspace-rule configs: each rule runs with the others' workspace
+/// passes disabled so fixtures stay isolated; the registry fixture
+/// tree brings its own spec/builder/golden under virtual paths.
+fn workspace_config(rule: &str) -> Config {
+    let mut cfg = Config::default_config();
+    match rule {
+        "transitive-nondeterminism" => cfg.registry.enum_spec.clear(),
+        "stale-pragma" => {
+            cfg.taint.roots.clear();
+            cfg.registry.enum_spec.clear();
+        }
+        "registry-exhaustive" => {
+            cfg.taint.roots.clear();
+            cfg.registry.enum_spec = "crates/exp/src/spec.rs::PolicyKind".into();
+            cfg.registry.label_fn = "crates/exp/src/spec.rs::name".into();
+            cfg.registry.require = vec!["crates/exp/src/registry.rs::build_policy".into()];
+            cfg.registry.internal = vec!["Hidden".into()];
+        }
+        other => panic!("not a workspace rule: {other}"),
+    }
+    cfg
+}
+
+fn workspace_findings_of(rule: &str, which: &str) -> (usize, usize) {
+    let (files, golden) = dir_fixture(rule, which);
+    let report = lint_files(&files, &golden, &workspace_config(rule));
+    let hits = report.findings.iter().filter(|f| f.rule == rule).count();
+    let suppressed = report.rule_counts[rule].1;
+    (hits, suppressed)
+}
+
 #[test]
 fn every_rule_has_all_three_fixtures() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for rule in ckpt_lint::rules::ALL_RULES {
         for which in ["violation", "clean", "suppressed"] {
-            let path = root.join(rule).join(format!("{which}.rs"));
-            assert!(path.is_file(), "missing fixture {}", path.display());
+            if WORKSPACE_RULES.contains(rule) {
+                let dir = root.join(rule).join(which);
+                assert!(dir.is_dir(), "missing fixture dir {}", dir.display());
+                let has_rs = fs::read_dir(&dir)
+                    .unwrap()
+                    .filter_map(Result::ok)
+                    .any(|e| e.path().extension().is_some_and(|x| x == "rs"));
+                assert!(has_rs, "no .rs fixture under {}", dir.display());
+            } else {
+                let path = root.join(rule).join(format!("{which}.rs"));
+                assert!(path.is_file(), "missing fixture {}", path.display());
+            }
         }
     }
 }
@@ -53,16 +133,51 @@ fn every_rule_has_all_three_fixtures() {
 #[test]
 fn violations_fire_cleans_do_not_pragmas_suppress() {
     for rule in ckpt_lint::rules::ALL_RULES {
-        let (hits, _) = findings_of(rule, "violation");
+        let of = |which| {
+            if WORKSPACE_RULES.contains(rule) {
+                workspace_findings_of(rule, which)
+            } else {
+                findings_of(rule, which)
+            }
+        };
+        let (hits, _) = of("violation");
         assert!(hits >= 1, "{rule}: violation fixture raised no finding");
 
-        let (hits, _) = findings_of(rule, "clean");
+        let (hits, _) = of("clean");
         assert_eq!(hits, 0, "{rule}: clean fixture raised {hits} finding(s)");
 
-        let (hits, suppressed) = findings_of(rule, "suppressed");
+        let (hits, suppressed) = of("suppressed");
         assert_eq!(hits, 0, "{rule}: pragma failed to suppress {hits} finding(s)");
         assert!(suppressed >= 1, "{rule}: nothing was actually suppressed");
     }
+}
+
+#[test]
+fn laundering_chain_reports_the_full_path() {
+    // The acceptance chain: a helper in one crate wrapping the clock,
+    // called from the exec drain in another. The finding anchors at the
+    // sink and carries both hops.
+    let (files, golden) = dir_fixture("transitive-nondeterminism", "violation");
+    let report = lint_files(&files, &golden, &workspace_config("transitive-nondeterminism"));
+    let taint: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "transitive-nondeterminism")
+        .collect();
+    assert_eq!(taint.len(), 1, "{:?}", report.findings);
+    assert_eq!(taint[0].path, "crates/helpers/src/lib.rs");
+    assert_eq!(taint[0].chain.len(), 2, "{:?}", taint[0].chain);
+    assert!(taint[0].chain[0].starts_with("ckpt_exp::exec::execute"));
+    assert!(taint[0].chain[1].contains("called at crates/exp/src/exec.rs:"));
+    assert!(taint[0].message.contains("ckpt_exp::exec::execute"));
+}
+
+#[test]
+fn pragmas_reach_through_attribute_lines() {
+    let src = fixture("float-eq", "attr_suppressed");
+    let out = lint_source(virtual_path("float-eq"), &src, &Config::default_config());
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
 }
 
 #[test]

@@ -1,0 +1,6 @@
+// Fixture: a standalone pragma must reach across attribute lines to
+// the first code line they decorate.
+// lint: allow(float-eq) — sentinel guard behind attributes
+#[inline]
+#[must_use]
+pub fn sentinel(x: f64) -> bool { x == 0.0 }

@@ -1,0 +1,9 @@
+//@path crates/exp/src/registry.rs
+//! Fixture: the builder covers every non-internal variant.
+pub fn build_policy(k: &PolicyKind) -> u32 {
+    match k {
+        PolicyKind::Young => 1,
+        PolicyKind::Dp(_) => 2,
+        PolicyKind::Hidden(_) => 3,
+    }
+}

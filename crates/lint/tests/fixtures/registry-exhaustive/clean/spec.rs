@@ -1,0 +1,18 @@
+//@path crates/exp/src/spec.rs
+//! Fixture: fully registered roster — every variant has a label arm,
+//! non-internal variants appear in the builder and in a golden row.
+pub enum PolicyKind {
+    Young,
+    Dp(DpConfig),
+    Hidden(f64),
+}
+
+impl PolicyKind {
+    pub fn name(&self) -> String {
+        match self {
+            Self::Young => "Young".into(),
+            Self::Dp(_) => "DP".into(),
+            Self::Hidden(f) => format!("Hidden*{f:.4}"),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//@path crates/exp/src/spec.rs
+//! Fixture: `Dp` is half-registered like `violation/`, but the variant
+//! carries a pragma while its roster lands.
+pub enum PolicyKind {
+    Young,
+    // lint: allow(registry-exhaustive) — fixture: roster growth in flight
+    Dp(DpConfig),
+    Hidden(f64),
+}
+
+impl PolicyKind {
+    pub fn name(&self) -> String {
+        match self {
+            Self::Young => "Young".into(),
+            Self::Dp(_) => "DP".into(),
+            Self::Hidden(f) => format!("Hidden*{f:.4}"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//@path crates/exp/src/registry.rs
+//! Fixture: the builder knows `Young` (and the internal `Hidden`), but
+//! not `Dp`.
+pub fn build_policy(k: &PolicyKind) -> u32 {
+    match k {
+        PolicyKind::Young => 1,
+        PolicyKind::Hidden(_) => 3,
+        _ => 0,
+    }
+}

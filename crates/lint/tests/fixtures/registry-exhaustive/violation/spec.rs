@@ -1,0 +1,18 @@
+//@path crates/exp/src/spec.rs
+//! Fixture: `Dp` is half-registered — labelled, but missing from the
+//! builder and from every golden row.
+pub enum PolicyKind {
+    Young,
+    Dp(DpConfig),
+    Hidden(f64),
+}
+
+impl PolicyKind {
+    pub fn name(&self) -> String {
+        match self {
+            Self::Young => "Young".into(),
+            Self::Dp(_) => "DP".into(),
+            Self::Hidden(f) => format!("Hidden*{f:.4}"),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//@path crates/dist/src/lib.rs
+//! Fixture: every pragma suppresses a real finding, so none is stale.
+
+pub fn sentinel(x: f64) -> bool {
+    x == 0.0 // lint: allow(float-eq) — exact sentinel guard
+}

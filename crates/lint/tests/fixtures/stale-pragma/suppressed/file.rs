@@ -1,0 +1,8 @@
+//@path crates/dist/src/lib.rs
+//! Fixture: an intentionally idle pragma, itself suppressed by naming
+//! `stale-pragma` in its own rule list.
+
+// lint: allow(float-eq, stale-pragma) — kept while the refactor lands
+pub fn quiet() -> u32 {
+    2
+}

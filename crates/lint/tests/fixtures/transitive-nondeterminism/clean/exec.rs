@@ -1,0 +1,8 @@
+//@path crates/exp/src/exec.rs
+//! Fixture: the root calls a pure helper — no sink is reachable.
+use ckpt_helpers::combine;
+
+pub fn execute() {
+    let t = combine(1, 2);
+    let _ = t;
+}

@@ -1,0 +1,10 @@
+//@path crates/helpers/src/lib.rs
+//! Fixture: a deterministic helper. The clock reader below it is real
+//! but unreachable from any root, so the taint pass stays quiet.
+pub fn combine(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+pub fn unreached_stamp() -> u64 {
+    ckpt_obs::clock::now_micros()
+}

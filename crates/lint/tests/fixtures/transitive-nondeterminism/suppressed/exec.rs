@@ -1,0 +1,9 @@
+//@path crates/exp/src/exec.rs
+//! Fixture: same laundering chain as `violation/`, but the sink site
+//! carries an audited pragma.
+use ckpt_helpers::stamp;
+
+pub fn execute() {
+    let t = stamp();
+    let _ = t;
+}

@@ -1,0 +1,7 @@
+//@path crates/helpers/src/lib.rs
+//! Fixture: the sink site is pragma'd after audit, so the chain is
+//! suppressed (and the pragma is live — no stale-pragma finding).
+pub fn stamp() -> u64 {
+    // lint: allow(transitive-nondeterminism) — fixture: audited timing probe
+    ckpt_obs::clock::now_micros()
+}

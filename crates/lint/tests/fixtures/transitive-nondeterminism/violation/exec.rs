@@ -1,0 +1,9 @@
+//@path crates/exp/src/exec.rs
+//! Fixture: the determinism root calls a helper one crate over. Nothing
+//! in THIS file reads a clock, so no single-file rule fires here.
+use ckpt_helpers::stamp;
+
+pub fn execute() {
+    let t = stamp();
+    let _ = t;
+}

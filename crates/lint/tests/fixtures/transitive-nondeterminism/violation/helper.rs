@@ -1,0 +1,7 @@
+//@path crates/helpers/src/lib.rs
+//! Fixture: the helper launders a wall-clock read into the hot path —
+//! its crate is outside `wall-clock-in-sim`'s scope, so only the
+//! cross-file taint pass can catch the chain.
+pub fn stamp() -> u64 {
+    ckpt_obs::clock::now_micros()
+}

@@ -28,10 +28,19 @@ fn workspace_lints_clean_under_checked_in_config() {
     );
     // The deliberate sentinel/conversion sites stay acknowledged.
     assert!(report.suppressed >= 20, "expected the audited pragma sites, got {}", report.suppressed);
+    // The workspace passes actually ran: the taint pass leaves its
+    // index stats, and stale-pragma proved every pragma live.
+    let stats = report.index_stats.as_ref().expect("taint pass ran");
+    assert!(stats.fns > 100, "index found only {} fns", stats.fns);
+    assert!(stats.resolved_edges > 100, "only {} call edges resolved", stats.resolved_edges);
 
     // `--json` output stays machine-shaped.
     let json = report.render_json();
-    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"version\": 2"));
     assert!(json.contains("\"findings\": []"));
     assert!(json.contains("\"deny\": 0"));
+    assert!(json.contains("\"chains\": []"));
+    assert!(json.contains("\"index\": {"));
+    assert!(json.contains("\"sanctioned\": {"));
+    assert!(!json.contains("wall_time_s"), "default output must stay byte-deterministic");
 }

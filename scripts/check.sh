@@ -13,7 +13,10 @@
 #      `#![warn(clippy::unwrap_used, clippy::expect_used)]`, so any
 #      unwrap/expect on a library path fails this step;
 #   5. ckpt-lint — the workspace determinism & safety lint (rules and
-#      scoping in lint.toml): any deny-level finding exits non-zero;
+#      scoping in lint.toml), including the cross-file taint pass: any
+#      deny-level finding exits non-zero, the archived JSON report is
+#      refreshed via scripts/lint_report.sh, and the whole analysis
+#      must finish inside its 5-second budget;
 #   6. the worker-count invariance gate: the golden study runs at
 #      --threads 1, 2, and 8 through the work-stealing executor, and
 #      every aggregate is byte-compared against results/golden/ — the
@@ -49,9 +52,11 @@ cargo clippy --workspace --features obs -- -D warnings
 
 echo "== ckpt-lint (determinism & safety) =="
 # The lint crate sits outside default-members, so tier-1 build/test
-# above never touch it: run its own suite here, then the workspace pass.
+# above never touch it: run its own suite here, then the workspace pass
+# via lint_report.sh, which also refreshes results/LINT_report.json and
+# enforces the 5-second analysis budget.
 cargo test -q -p ckpt-lint
-cargo run --release -q -p ckpt-lint
+scripts/lint_report.sh
 
 study_tmp=$(mktemp -d)
 trap 'rm -rf "$study_tmp"' EXIT

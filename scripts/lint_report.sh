@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Archive the workspace lint report: run ckpt-lint with `--json
+# --timing` and store the machine-readable report (per-rule
+# finding/suppression counts, the sanctioned-site inventory, index/call
+# graph sizes, analysis wall time) under results/LINT_report.json, so
+# rule-count and pragma-inventory drift shows up in review diffs the
+# same way golden-number drift does.
+#
+# Exits non-zero if the tree has deny findings, or if the whole
+# analysis (lex + index + call graph + taint + registry) blows the
+# 5-second budget check.sh holds it to.
+#
+# Usage: scripts/lint_report.sh [OUT_FILE]
+#   OUT_FILE — report destination (default results/LINT_report.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results/LINT_report.json}
+
+cargo build --release -q -p ckpt-lint
+
+mkdir -p "$(dirname "$OUT")"
+status=0
+target/release/ckpt-lint --json --timing > "$OUT" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "lint_report: deny findings present (see $OUT)" >&2
+  exit "$status"
+fi
+
+wall=$(sed -n 's/.*"wall_time_s": \([0-9.]*\).*/\1/p' "$OUT")
+if [ -z "$wall" ]; then
+  echo "lint_report: no wall_time_s in $OUT" >&2
+  exit 1
+fi
+if ! awk -v t="$wall" 'BEGIN { exit !(t < 5.0) }'; then
+  echo "lint_report: analysis took ${wall}s, budget is 5s" >&2
+  exit 1
+fi
+echo "lint_report: wrote $OUT (analysis ${wall}s, budget 5s)"
