@@ -1,0 +1,73 @@
+//! `ckpt-bench` — bench-history tooling.
+//!
+//! ```text
+//! ckpt-bench regress [--history PATH] [--out PATH] [--window N] [--threshold F]
+//! ```
+//!
+//! Judges the newest `BENCH_history.jsonl` record against the rolling
+//! median of its series (same cell, same worker threads) with a
+//! noise-aware threshold — see [`ckpt_bench::regress`]. The report goes
+//! to stdout and `--out` (default `results/BENCH_regress.txt`).
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage or history errors
+//! (missing file, malformed record — a broken history must fail CI
+//! loudly, not pass silently).
+
+use ckpt_bench::regress;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ckpt-bench: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        fail("usage: ckpt-bench regress [--history PATH] [--out PATH] [--window N] [--threshold F]")
+    };
+    if cmd != "regress" {
+        fail(&format!("unknown command `{cmd}` (known: regress)"));
+    }
+
+    let mut history = "results/BENCH_history.jsonl".to_string();
+    let mut out = "results/BENCH_regress.txt".to_string();
+    let mut window = regress::WINDOW;
+    let mut threshold = regress::BASE_THRESHOLD;
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| args.next().unwrap_or_else(|| fail(what));
+        match a.as_str() {
+            "--history" => history = next("--history PATH"),
+            "--out" => out = next("--out PATH"),
+            "--window" => {
+                window = next("--window N")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--window N: not a number"));
+            }
+            "--threshold" => {
+                threshold = next("--threshold F")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threshold F: not a number"));
+                if !(threshold.is_finite() && threshold > 0.0) {
+                    fail("--threshold F: must be a positive fraction");
+                }
+            }
+            other => fail(&format!("unknown `regress` argument {other}")),
+        }
+    }
+
+    let src = std::fs::read_to_string(&history)
+        .unwrap_or_else(|e| fail(&format!("read {history}: {e}")));
+    let records = regress::parse_history(&src).unwrap_or_else(|e| fail(&e));
+    let verdict =
+        regress::analyze(&records, threshold, window).unwrap_or_else(|e| fail(&e));
+    let report = regress::report(&verdict);
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out, &report)
+        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    print!("{report}");
+    eprintln!("ckpt-bench: wrote {out}");
+    std::process::exit(i32::from(verdict.regressed));
+}

@@ -1,5 +1,9 @@
 //! Bench-only crate: shared helpers for the Criterion benches that
-//! regenerate the paper's tables and figures at reduced trace counts.
+//! regenerate the paper's tables and figures at reduced trace counts,
+//! plus the bench-history regression sentinel ([`regress`], exposed as
+//! the `ckpt-bench` binary).
+
+pub mod regress;
 
 use ckpt_core::prelude::*;
 

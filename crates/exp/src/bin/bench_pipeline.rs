@@ -3,7 +3,16 @@
 //!
 //! Usage: `bench_pipeline [--traces N] [--label NAME] [--out PATH]
 //! [--search full|coarse] [--trace-out PATH] [--report-out PATH]
-//! [--threads N] [--cell bench|lanl18|lanl19]`
+//! [--threads N] [--cell bench|lanl18|lanl19] [--history PATH|none]
+//! [--flight-out PATH] [--prom-out PATH]`
+//!
+//! Every run appends one JSONL record — git sha, host CPUs, lane
+//! width, stage timings, key obs counter deltas — to the bench history
+//! (`--history`, default `results/BENCH_history.jsonl`, `none`
+//! disables), the series `ckpt-bench regress` judges. `--flight-out`
+//! dumps the live flight-recorder ring, `--prom-out` the Prometheus
+//! text exposition of the session (both need `--features obs` to carry
+//! data; without it they write valid empty documents).
 //!
 //! `--threads N` pins the work-stealing executor's worker count (the
 //! effective count and steal counters land in the JSON's
@@ -27,6 +36,7 @@ use ckpt_exp::perf::format_f64;
 use ckpt_exp::policies_spec::PolicyKind;
 use ckpt_exp::runner::{run_scenario, PeriodSearch, RunnerOptions};
 use ckpt_exp::scenario::{DistSpec, Scenario};
+use std::io::Write as _;
 use std::time::Instant;
 
 const YEAR: f64 = 365.25 * 86_400.0;
@@ -52,6 +62,9 @@ fn main() {
     let mut out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut history = "results/BENCH_history.jsonl".to_string();
+    let mut flight_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
     let mut search = PeriodSearch::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -74,6 +87,9 @@ fn main() {
             "--out" => out = Some(args.next().expect("--out PATH")),
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out PATH")),
             "--report-out" => report_out = Some(args.next().expect("--report-out PATH")),
+            "--history" => history = args.next().expect("--history PATH|none"),
+            "--flight-out" => flight_out = Some(args.next().expect("--flight-out PATH")),
+            "--prom-out" => prom_out = Some(args.next().expect("--prom-out PATH")),
             "--search" => {
                 search = match args.next().as_deref() {
                     Some("full") => PeriodSearch::Full,
@@ -117,6 +133,13 @@ fn main() {
     let t0 = Instant::now();
     let result = run_scenario(&scenario, &kinds, &options);
     let total = t0.elapsed().as_secs_f64();
+    if let Some(path) = &flight_out {
+        // Must precede `finish`: finishing the session drains the
+        // shards, and the flight ring dies with them.
+        std::fs::write(path, ckpt_obs::flight_dump_json())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("bench_pipeline[{label}]: wrote flight dump {path}");
+    }
     let obs_data = session.map(ckpt_obs::ObsSession::finish);
 
     eprintln!("bench_pipeline[{label}]: total {total:.3}s");
@@ -171,6 +194,11 @@ fn main() {
                 .unwrap_or_else(|e| panic!("write {path}: {e}"));
             eprintln!("bench_pipeline[{label}]: wrote perf report {path}");
         }
+        if let Some(path) = &prom_out {
+            std::fs::write(path, data.prometheus_text())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("bench_pipeline[{label}]: wrote prometheus text {path}");
+        }
     }
 
     // JSON document: run metadata + measured pipeline perf.
@@ -195,4 +223,123 @@ fn main() {
         }
         None => println!("{doc}"),
     }
+
+    // Bench history: append one JSONL record per run (never stdout —
+    // callers pipe the document above to jq).
+    if history != "none" {
+        let record = history_record(
+            &label,
+            &scenario,
+            kinds.len(),
+            options.period_lb.as_ref().map_or(0, Vec::len),
+            total,
+            perf,
+        );
+        append_history(&history, &record);
+        eprintln!("bench_pipeline[{label}]: appended history record to {history}");
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Wall-clock record stamp (bench provenance only: history records are
+/// measurements *about* the machine, never simulation inputs).
+fn unix_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// One `BENCH_history.jsonl` record (see DESIGN.md for the schema):
+/// run identity (git sha, host CPUs, lane width, worker threads, cell)
+/// plus the stage timings and key obs counter deltas that `ckpt-bench
+/// regress` judges.
+fn history_record(
+    label: &str,
+    scenario: &Scenario,
+    policies: usize,
+    period_grid: usize,
+    total: f64,
+    perf: &ckpt_exp::perf::PipelinePerf,
+) -> String {
+    let mut rec = String::from("{\"schema\": 1, \"kind\": \"pipeline\"");
+    rec.push_str(&format!(", \"label\": \"{}\"", serde_json::escape_str(label)));
+    rec.push_str(&format!(", \"git_sha\": \"{}\"", serde_json::escape_str(&git_sha())));
+    rec.push_str(&format!(", \"recorded_unix\": {}", unix_seconds()));
+    rec.push_str(&format!(
+        ", \"host_cpus\": {}",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    rec.push_str(&format!(", \"lanes\": {}", ckpt_math::simd::LANES));
+    rec.push_str(&format!(", \"threads\": {}", ckpt_exp::steal::workers()));
+    rec.push_str(&format!(
+        ", \"cell\": {{\"scenario\": \"{}\", \"procs\": {}, \"traces\": {}, \"policies\": {}, \"period_grid\": {}}}",
+        serde_json::escape_str(&scenario.label),
+        scenario.procs,
+        scenario.traces,
+        policies,
+        period_grid,
+    ));
+    rec.push_str(&format!(", \"total_seconds\": {}", format_f64(total)));
+    rec.push_str(", \"stages\": [");
+    for (i, st) in perf.stages.iter().enumerate() {
+        if i > 0 {
+            rec.push_str(", ");
+        }
+        rec.push_str(&format!(
+            "{{\"name\": \"{}\", \"seconds\": {}, \"items\": {}}}",
+            serde_json::escape_str(&st.name),
+            format_f64(st.seconds),
+            st.items,
+        ));
+    }
+    rec.push_str("], \"counters\": {");
+    if let Some(o) = &perf.obs {
+        rec.push_str(&format!(
+            "\"dp_solves\": {}, \"dp_near_row_sweeps\": {}, \"dp_far_fits\": {}, \
+             \"dp_hull_lines\": {}, \"dp_hull_advances\": {}, \"dp_log_domain_states\": {}, \
+             \"dp_scratch_reuses\": {}, \"kernel_interp_hits\": {}, \
+             \"kernel_exact_fallbacks\": {}, \"trace_cache_hits\": {}, \
+             \"trace_cache_misses\": {}, \"sim_runs\": {}, \"sim_decisions\": {}",
+            o.dp_solves,
+            o.dp_near_row_sweeps,
+            o.dp_far_fits,
+            o.dp_hull_lines,
+            o.dp_hull_advances,
+            o.dp_log_domain_states,
+            o.dp_scratch_reuses,
+            o.kernel_interp_hits,
+            o.kernel_exact_fallbacks,
+            o.trace_cache_hits,
+            o.trace_cache_misses,
+            o.sim_runs,
+            o.sim_decisions,
+        ));
+    }
+    rec.push_str("}}");
+    rec
+}
+
+/// Append one record line, creating the file (and parents) on first use.
+fn append_history(path: &str, record: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("open {path}: {e}"));
+    writeln!(f, "{record}").unwrap_or_else(|e| panic!("append {path}: {e}"));
 }

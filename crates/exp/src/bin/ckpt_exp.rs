@@ -26,6 +26,7 @@
 //!              [--traces N] [--study-root DIR] [--checkpoint-items N]
 //!              [--checkpoint-secs S] [--trace-block B] [--max-checkpoints N]
 //!              [--kill-at FRAC] [--prewarm] [--no-checkpoint] [--threads N]
+//!              [--progress]
 //! ckpt-exp study ls [--study-root DIR]
 //! ckpt-exp study gc [--study-root DIR] [--max-checkpoints N] [--purge ID]
 //! ```
@@ -36,8 +37,10 @@
 //! snapshot (stale stores are rejected by fingerprint). `--kill-at 0.5`
 //! SIGKILLs the process mid-sweep (for testing the resume path),
 //! `--no-checkpoint` runs the plain in-memory study and leaves the
-//! store untouched. Exit codes: 0 on success, 1 when any cell or
-//! prewarm failed, 2 on store errors (stale fingerprint, bad id).
+//! store untouched, `--progress` prints live per-kind completion lines
+//! on stderr (the store's `progress.json` is written either way). Exit
+//! codes: 0 on success, 1 when any cell or prewarm failed, 2 on store
+//! errors (stale fingerprint, bad id).
 
 use ckpt_exp::experiments as ex;
 use ckpt_exp::output::{csv_series, markdown_table, CSV_HEADER};
@@ -147,6 +150,7 @@ struct RunArgs {
     prewarm: bool,
     no_checkpoint: bool,
     threads: Option<usize>,
+    progress: bool,
 }
 
 fn parse_run_args(rest: &[String]) -> RunArgs {
@@ -164,6 +168,7 @@ fn parse_run_args(rest: &[String]) -> RunArgs {
         prewarm: false,
         no_checkpoint: false,
         threads: None,
+        progress: false,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -189,6 +194,7 @@ fn parse_run_args(rest: &[String]) -> RunArgs {
             "--kill-at" => args.kill_at = Some(next("--kill-at FRAC").parse().expect("number")),
             "--prewarm" => args.prewarm = true,
             "--no-checkpoint" => args.no_checkpoint = true,
+            "--progress" => args.progress = true,
             "--threads" => {
                 args.threads = Some(next("--threads N").parse().expect("number"))
             }
@@ -232,6 +238,10 @@ fn cmd_run(rest: &[String]) -> i32 {
     if let Some(n) = args.threads {
         ckpt_exp::steal::set_workers(n);
     }
+    // Under the `obs` build, record the whole run so the flight
+    // recorder has events to dump next to the checkpoint store (a
+    // no-op `None` otherwise; results are byte-identical either way).
+    let _obs = ckpt_obs::ObsSession::start();
     let id = args
         .resume
         .clone()
@@ -290,6 +300,7 @@ fn cmd_run(rest: &[String]) -> i32 {
         trace_block: args.trace_block,
         golden_dir: Some(PathBuf::from("results/golden")),
         kill_at: args.kill_at,
+        progress: args.progress,
         ..ckpt_exp::CheckpointConfig::default()
     };
     match ckpt_exp::run_study(&def, &config, args.resume.is_some()) {

@@ -78,6 +78,9 @@ pub struct CheckpointConfig {
     /// CLI hook: SIGKILL our own process once `completed ≥ frac·total`,
     /// *before* the snapshot that would cover those items.
     pub kill_at: Option<f64>,
+    /// Emit live progress lines on stderr (`run --study … --progress`).
+    /// `progress.json` snapshots are written to the store regardless.
+    pub progress: bool,
 }
 
 impl Default for CheckpointConfig {
@@ -92,6 +95,7 @@ impl Default for CheckpointConfig {
             golden_dir: None,
             stop_after_items: None,
             kill_at: None,
+            progress: false,
         }
     }
 }
@@ -821,7 +825,7 @@ fn ckpt_seq(name: &str) -> Option<u64> {
 }
 
 /// Write-then-rename so readers (and kills) never observe a torn file.
-fn write_atomic(path: &Path, contents: &str) -> Result<(), Error> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), Error> {
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, contents)
         .map_err(|e| bad(format!("write {}: {e}", tmp.display())))?;
@@ -854,6 +858,25 @@ fn prune_checkpoints(dir: &Path, keep: usize) {
 
 fn write_status(dir: &Path, status: &str) -> Result<(), Error> {
     write_atomic(&dir.join("status"), &format!("{status}\n"))
+}
+
+/// Best-effort flight-recorder dump into the store. Diagnostic only: a
+/// failed write must never fail the study. Without the `obs` feature
+/// (or outside a session) this still writes a valid `recording: false`
+/// document, so store tooling never has to special-case its absence.
+fn write_flightrec(dir: &Path) {
+    let _ = write_atomic(&dir.join("flightrec.json"), &ckpt_obs::flight_dump_json());
+}
+
+/// Resets the poisoned-wave flight-dump destination when the run loop
+/// exits — normally or by unwind — so a later wave outside any study
+/// cannot write into a stale store.
+struct FlightDumpGuard;
+
+impl Drop for FlightDumpGuard {
+    fn drop(&mut self) {
+        crate::steal::set_flight_dump(None);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1169,6 +1192,12 @@ pub fn run_study(
         write_atomic(&dir.join("manifest.json"), &manifest_json(&manifest))?;
     }
 
+    // The store directory exists either way now: point the poisoned-wave
+    // flight dump at it for the duration of the run (the guard resets it
+    // on every exit path, unwinds included).
+    crate::steal::set_flight_dump(Some(dir.join("flightrec.json")));
+    let _flight_guard = FlightDumpGuard;
+
     let items_total = manifest.items.len() as u64;
     let items_resumed = completed.len() as u64;
     ckpt_obs::counter_add("study.items_resumed", items_resumed);
@@ -1190,8 +1219,19 @@ pub fn run_study(
     let mut since_ckpt: u64 = 0;
     let mut last_ckpt = clock_seconds();
     write_status(&dir, &format!("running {}/{items_total}", completed.len()))?;
+    let mut progress = crate::progress::StudyProgress::new(
+        &def.id,
+        &manifest.items,
+        |id| completed.contains_key(&id),
+        config.progress,
+    );
+    progress.write(&dir)?;
+    write_flightrec(&dir);
 
     for chunk in chunk_pending(&pending) {
+        progress.begin_chunk(&chunk);
+        progress.console_tick(false);
+        let _ = progress.write(&dir);
         // Drain the chunk through the work-stealing executor: items are
         // independent within a chunk, DP policy items are the long
         // poles (seeded into the worker deques), and the manifest-ID
@@ -1215,6 +1255,7 @@ pub fn run_study(
         executed += chunk.len() as u64;
         since_ckpt += chunk.len() as u64;
         ckpt_obs::counter_add("study.items_executed", chunk.len() as u64);
+        progress.finish_chunk(&chunk);
 
         if let Some(frac) = config.kill_at {
             if completed.len() as f64 >= frac * items_total as f64 {
@@ -1246,6 +1287,10 @@ pub fn run_study(
             last_ckpt = clock_seconds();
             prune_checkpoints(&dir, config.max_checkpoints);
             write_status(&dir, &format!("running {}/{items_total}", completed.len()))?;
+            // The checkpoint writer committed: dump the flight ring and
+            // refresh the progress snapshot next to it.
+            write_flightrec(&dir);
+            progress.write(&dir)?;
         }
     }
 
@@ -1261,6 +1306,9 @@ pub fn run_study(
         ckpt_obs::counter_add("study.checkpoint_writes", 1);
         checkpoints_written += 1;
         prune_checkpoints(&dir, config.max_checkpoints);
+        write_flightrec(&dir);
+        progress.write(&dir)?;
+        progress.console_tick(true);
     }
 
     let agg_dir = dir.join("aggregate");

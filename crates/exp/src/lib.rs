@@ -65,6 +65,7 @@ pub mod perf;
 pub mod plan;
 pub mod plot;
 pub mod policies_spec;
+pub mod progress;
 pub mod reduce;
 pub mod registry;
 pub mod report;

@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide worker count, settable from the CLI (`--threads N`).
@@ -45,6 +46,46 @@ static WORKERS: AtomicUsize = AtomicUsize::new(0);
 /// Set the process-wide worker count (`0` resets to auto-detection).
 pub fn set_workers(n: usize) {
     WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Where a poisoned wave dumps the flight recorder, if anywhere.
+/// The study runner points this at `<store>/flightrec.json` for the
+/// duration of a run so a panicking task leaves its last-N-events
+/// record next to the checkpoint store.
+// lint: allow(shared-mutable-in-exec) — the flight-dump destination:
+// set once by the study runner, read on the poison path; a diagnostic
+// side channel that never touches results.
+static FLIGHT_DUMP: std::sync::Mutex<Option<PathBuf>> = std::sync::Mutex::new(None);
+
+/// Lock the dump destination, surviving poisoning: the lock is touched
+/// on panic paths by design, and the value inside is always coherent.
+fn flight_dump_lock() -> std::sync::MutexGuard<'static, Option<PathBuf>> {
+    FLIGHT_DUMP.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Point the poisoned-wave flight dump at `path` (`None` disables it).
+pub fn set_flight_dump(path: Option<PathBuf>) {
+    *flight_dump_lock() = path;
+}
+
+/// Best-effort flight-recorder dump to the configured path. Called on
+/// the poison path only, right before the panic is re-raised; without
+/// the `obs` feature (or outside a session) it still writes a valid
+/// `recording: false` document so tooling never reads a torn file.
+fn dump_flight() {
+    let path = flight_dump_lock().clone();
+    if let Some(path) = path {
+        let _ = std::fs::write(&path, ckpt_obs::flight_dump_json());
+    }
+}
+
+/// Record a poisoned task on the flight ring (no-op unless a session
+/// records). The label names the failing task, so the dump's tail
+/// identifies it even after the ring has evicted the task's own spans.
+fn mark_poisoned(id: usize) {
+    if ckpt_obs::active() {
+        ckpt_obs::counter_add_labeled("exec.task_poisoned", &format!("task{id:06}"), 1);
+    }
 }
 
 /// The effective worker count for the next wave: the explicitly
@@ -286,7 +327,20 @@ where
     let n = tasks.len();
     let w = workers.max(1).min(n.max(1));
     if w <= 1 {
-        let out: Vec<R> = tasks.iter().enumerate().map(|(i, t)| run(i, t)).collect();
+        // Same poison protocol as the threaded path: record the event
+        // and dump the flight ring before re-raising, so a 1-worker
+        // run leaves the same diagnostic record an 8-worker run does.
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        for (i, t) in tasks.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| run(i, t))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    mark_poisoned(i);
+                    dump_flight();
+                    resume_unwind(payload);
+                }
+            }
+        }
         let stats = WaveStats {
             workers: 1,
             injector_claims: n as u64,
@@ -319,6 +373,9 @@ where
                         // The task body runs unlocked; a panic is a
                         // value here so siblings keep draining.
                         let out = catch_unwind(AssertUnwindSafe(|| run(id, &tasks[id])));
+                        if out.is_err() {
+                            mark_poisoned(id);
+                        }
                         state.lock().complete(wid);
                         local.push((id, out));
                     }
@@ -354,6 +411,7 @@ where
     for slot in slots.iter_mut() {
         if matches!(slot, Some(Err(_))) {
             if let Some(Err(payload)) = slot.take() {
+                dump_flight();
                 resume_unwind(payload);
             }
         }

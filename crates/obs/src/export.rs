@@ -43,6 +43,72 @@ pub struct SpanRow {
     pub labels: Vec<(&'static str, String)>,
 }
 
+/// Events each recording shard's flight ring retains. Small enough that
+/// a ring never grows past a few KiB, large enough that the dump around
+/// a poisoned task shows the work leading up to it.
+pub const FLIGHT_RING_CAP: usize = 64;
+
+/// One entry of the flight recorder: a recent span closure or counter
+/// delta, kept in a bounded per-shard ring so a killed or panicking run
+/// leaves a readable last-N-events record. Pure data — the ring lives
+/// in the feature-gated shard layer, but dumps must serialise (to an
+/// empty document) without the feature too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Event time, microseconds since the session clock origin (span
+    /// closure time for spans). Diagnostic only — never feeds results.
+    pub at_us: u64,
+    /// Recording shard (≈ thread) index.
+    pub tid: u64,
+    /// Per-shard flight sequence; with `at_us` and `tid` it orders the
+    /// merged dump.
+    pub seq: u64,
+    /// `"span"` or `"counter"`.
+    pub kind: &'static str,
+    /// Span or counter name.
+    pub name: &'static str,
+    /// Owning task id for spans ([`NO_TASK`] for coordinator spans and
+    /// all counters).
+    pub task: u64,
+    /// Span duration in microseconds, or the counter delta.
+    pub value: u64,
+    /// Counter label (empty when unlabeled; empty for spans).
+    pub label: String,
+}
+
+/// Serialise flight events to the `flightrec.json` document. `recording`
+/// says whether a live session fed the ring — `false` means the events
+/// list is empty by construction (feature off, or no session open), and
+/// the document says so instead of looking like a silent loss.
+pub fn flight_json(events: &[FlightEvent], recording: bool) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"recording\": {recording},\n"));
+    out.push_str(&format!("  \"ring_capacity_per_shard\": {FLIGHT_RING_CAP},\n"));
+    out.push_str("  \"events\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"at_us\": {}, \"tid\": {}, \"seq\": {}, \"kind\": \"{}\", \
+             \"name\": \"{}\"",
+            e.at_us,
+            e.tid,
+            e.seq,
+            escape_str(e.kind),
+            escape_str(e.name)
+        ));
+        if e.task != NO_TASK {
+            out.push_str(&format!(", \"task\": {}", e.task));
+        }
+        out.push_str(&format!(", \"value\": {}", e.value));
+        if !e.label.is_empty() {
+            out.push_str(&format!(", \"label\": \"{}\"", escape_str(&e.label)));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Everything one [`ObsSession`](crate::ObsSession) recorded, merged
 /// across shards.
 ///
@@ -118,6 +184,75 @@ impl ObsData {
             out.push('}');
         }
         out.push_str("\n]}\n");
+        out
+    }
+
+    /// Prometheus text exposition of the session's metrics — the
+    /// metrics doorway for the planned checkpoint-advisor service.
+    /// Counters and gauges map directly; histograms export as summaries
+    /// (p50/p90/p99 via the log-bucket [`Histogram::quantile`], plus
+    /// `_sum`/`_count`). Metric names are `ckpt_` + the dotted obs name
+    /// with non-alphanumerics folded to `_`; counter labels land on a
+    /// `label` dimension. Deterministic given identical metric content:
+    /// every map iterated here is a `BTreeMap`.
+    pub fn prometheus_text(&self) -> String {
+        fn metric_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("ckpt_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        fn fmt(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else if v.is_nan() {
+                "NaN".to_string()
+            } else if v > 0.0 {
+                "+Inf".to_string()
+            } else {
+                "-Inf".to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str("# TYPE ckpt_obs_wall_seconds gauge\n");
+        out.push_str(&format!("ckpt_obs_wall_seconds {}\n", fmt(self.wall_us as f64 / 1e6)));
+
+        let mut last_counter: Option<String> = None;
+        for ((name, label), value) in &self.counters.0 {
+            let metric = metric_name(name);
+            if last_counter.as_deref() != Some(metric.as_str()) {
+                out.push_str(&format!("# TYPE {metric} counter\n"));
+                last_counter = Some(metric.clone());
+            }
+            if label.is_empty() {
+                out.push_str(&format!("{metric} {value}\n"));
+            } else {
+                out.push_str(&format!(
+                    "{metric}{{label=\"{}\"}} {value}\n",
+                    escape_str(label)
+                ));
+            }
+        }
+
+        for (name, value) in &self.gauges {
+            let metric = metric_name(name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+
+        for (name, h) in &self.histograms {
+            let metric = metric_name(name);
+            out.push_str(&format!("# TYPE {metric} summary\n"));
+            for q in [0.5, 0.9, 0.99] {
+                out.push_str(&format!(
+                    "{metric}{{quantile=\"{q}\"}} {}\n",
+                    fmt(h.quantile(q))
+                ));
+            }
+            out.push_str(&format!("{metric}_sum {}\n", fmt(h.sum)));
+            out.push_str(&format!("{metric}_count {}\n", h.count));
+        }
         out
     }
 
@@ -270,5 +405,66 @@ mod tests {
         let d = sample();
         assert!((d.span_total_seconds("stage.policy_sims") - 1.5).abs() < 1e-9);
         assert_eq!(d.span_total_seconds("stage.nope"), 0.0);
+    }
+
+    #[test]
+    fn flight_json_emits_events_and_degrades_empty() {
+        let events = vec![
+            FlightEvent {
+                at_us: 10,
+                tid: 0,
+                seq: 0,
+                kind: "counter",
+                name: "exec.task_poisoned",
+                task: NO_TASK,
+                value: 1,
+                label: "7".into(),
+            },
+            FlightEvent {
+                at_us: 25,
+                tid: 1,
+                seq: 0,
+                kind: "span",
+                name: "study.item",
+                task: 7,
+                value: 900,
+                label: String::new(),
+            },
+        ];
+        let j = flight_json(&events, true);
+        assert!(j.contains("\"recording\": true"));
+        assert!(j.contains("\"name\": \"exec.task_poisoned\""));
+        assert!(j.contains("\"label\": \"7\""));
+        assert!(j.contains("\"task\": 7"));
+        // Counters carry no task key; NO_TASK never leaks into the JSON.
+        assert!(!j.contains("18446744073709551615"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        let empty = flight_json(&[], false);
+        assert!(empty.contains("\"recording\": false"));
+        assert!(empty.contains("\"events\": [\n  ]"));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_text_exports_all_metric_families() {
+        let p = sample().prometheus_text();
+        assert!(p.contains("# TYPE ckpt_obs_wall_seconds gauge"));
+        assert!(p.contains("ckpt_obs_wall_seconds 2\n"));
+        assert!(p.contains("# TYPE ckpt_dp_sweeps counter"));
+        assert!(p.contains("ckpt_dp_sweeps 42\n"));
+        assert!(p.contains("ckpt_plans_hit{label=\"weibull\"} 7\n"));
+        assert!(p.contains("# TYPE ckpt_wave_width gauge"));
+        assert!(p.contains("ckpt_wave_width 8\n"));
+        assert!(p.contains("# TYPE ckpt_sim_decisions summary"));
+        assert!(p.contains("ckpt_sim_decisions{quantile=\"0.5\"}"));
+        assert!(p.contains("ckpt_sim_decisions_sum 8\n"));
+        assert!(p.contains("ckpt_sim_decisions_count 2\n"));
+        // One `# TYPE` line per counter family, not per labeled cell.
+        let mut d = sample();
+        d.counters.0.insert(("plans.hit".into(), "exp".into()), 3);
+        let p2 = d.prometheus_text();
+        assert_eq!(p2.matches("# TYPE ckpt_plans_hit counter").count(), 1);
     }
 }

@@ -24,8 +24,14 @@
 //!   thread scheduling whenever the instrumented run is.
 //!
 //! Exporters: [`ObsData::chrome_trace_json`] (chrome://tracing /
-//! Perfetto timeline of the exec drain) and [`ObsData::perf_report`]
-//! (text summary).
+//! Perfetto timeline of the exec drain), [`ObsData::perf_report`]
+//! (text summary), and [`ObsData::prometheus_text`] (metrics
+//! exposition). Alongside the post-hoc exporters, each shard keeps a
+//! bounded **flight recorder** ring of its most recent span closures
+//! and counter deltas; [`flight_dump_json`] serialises the merged rings
+//! at any moment mid-session, so a poisoned task or a SIGKILL'd study
+//! leaves a readable last-N-events record (see `ckpt-exp`'s steal and
+//! checkpoint layers for the dump sites).
 //!
 //! ```
 //! let session = ckpt_obs::ObsSession::start(); // None unless `obs` is on
@@ -49,7 +55,7 @@ pub mod clock;
 #[cfg(feature = "obs")]
 mod shard;
 
-pub use export::{ObsData, SpanRecord, SpanRow};
+pub use export::{FlightEvent, ObsData, SpanRecord, SpanRow, FLIGHT_RING_CAP};
 pub use metrics::{bucket_lo, bucket_of, CounterSnapshot, Histogram};
 
 /// Task id for spans not owned by any pipeline task (stage/coordinator
@@ -205,6 +211,19 @@ pub fn task_span(name: &'static str, task: u64) -> SpanGuard {
     }
 }
 
+/// Serialise the flight recorder — every shard's bounded ring of recent
+/// span closures and counter deltas — to its `flightrec.json` document.
+/// Always returns a valid document: without the `obs` feature (or with
+/// no session open) the event list is empty and `"recording": false`
+/// says why, so dump sites can write unconditionally.
+pub fn flight_dump_json() -> String {
+    #[cfg(feature = "obs")]
+    if active() {
+        return export::flight_json(&shard::flight_events(), true);
+    }
+    export::flight_json(&[], false)
+}
+
 /// A live snapshot of every counter recorded so far in the open session
 /// (empty when recording is off). Cheap enough to bracket a pipeline
 /// stage for attribution deltas.
@@ -284,6 +303,10 @@ mod tests {
         g.label("k", "v");
         drop(g);
         assert_eq!(counters_snapshot(), CounterSnapshot::default());
+        // The flight dump degrades to a valid empty document.
+        let dump = flight_dump_json();
+        assert!(dump.contains("\"recording\": false"), "{dump}");
+        assert!(dump.contains("\"events\": [\n  ]"), "{dump}");
         #[cfg(not(feature = "obs"))]
         assert!(ObsSession::start().is_none());
     }
@@ -376,6 +399,36 @@ mod tests {
             let mut sorted = tasks_a.clone();
             sorted.sort_unstable();
             assert_eq!(tasks_a, sorted);
+        }
+
+        #[test]
+        fn flight_ring_records_recent_events_and_stays_bounded() {
+            let _serial = lock();
+            let session = ObsSession::start().expect("no session open");
+            // Overflow one shard's ring: only the newest FLIGHT_RING_CAP
+            // survive, so the oldest label must be gone and the newest
+            // present.
+            for i in 0..(FLIGHT_RING_CAP as u64 + 8) {
+                counter_add_labeled("f.counter", &format!("evt{i:04}"), 1);
+            }
+            {
+                let _span = task_span("f.span", 9);
+            }
+            let dump = flight_dump_json();
+            assert!(dump.contains("\"recording\": true"), "{dump}");
+            assert!(!dump.contains("\"label\": \"evt0000\""), "oldest events must be evicted");
+            let newest = format!("evt{:04}", FLIGHT_RING_CAP as u64 + 7);
+            assert!(dump.contains(&newest), "{dump}");
+            assert!(dump.contains("\"kind\": \"span\""), "{dump}");
+            assert!(dump.contains("\"name\": \"f.span\", \"task\": 9"), "{dump}");
+            // This thread's ring holds exactly its capacity: the span
+            // plus the newest CAP-1 counters (count only this test's
+            // labels — other tests may record on their own shards).
+            assert_eq!(dump.matches("\"label\": \"evt").count(), FLIGHT_RING_CAP - 1);
+            // After finish the generation closes: dumps go empty again.
+            let data = session.finish();
+            assert!(data.counter("f.counter") >= FLIGHT_RING_CAP as u64);
+            assert!(flight_dump_json().contains("\"recording\": false"));
         }
 
         #[test]

@@ -7,10 +7,10 @@
 //! sessions via a generation stamp: a shard that notices the global
 //! generation moved resets itself before accepting the next record.
 
-use crate::export::{SpanRecord, SpanRow};
+use crate::export::{FlightEvent, SpanRecord, SpanRow, FLIGHT_RING_CAP};
 use crate::metrics::Histogram;
-use crate::{ObsData, Recorder};
-use std::collections::BTreeMap;
+use crate::{ObsData, Recorder, NO_TASK};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -29,6 +29,11 @@ struct ShardData {
     gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     spans: Vec<SpanRow>,
+    /// Flight recorder: a bounded ring of this shard's most recent span
+    /// closures and counter deltas, dumped on demand (poisoned task,
+    /// checkpoint commit) so a killed run leaves a last-N-events record.
+    flight_seq: u64,
+    flight: VecDeque<FlightEvent>,
 }
 
 impl ShardData {
@@ -41,12 +46,41 @@ impl ShardData {
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
             spans: Vec::new(),
+            flight_seq: 0,
+            flight: VecDeque::with_capacity(FLIGHT_RING_CAP),
         }
     }
 
     fn reset(&mut self, generation: u64) {
         let tid = self.tid;
         *self = Self::fresh(generation, tid);
+    }
+
+    /// Push onto the flight ring, evicting the oldest event at capacity.
+    fn flight_push(
+        &mut self,
+        at_us: u64,
+        kind: &'static str,
+        name: &'static str,
+        task: u64,
+        value: u64,
+        label: String,
+    ) {
+        if self.flight.len() >= FLIGHT_RING_CAP {
+            self.flight.pop_front();
+        }
+        let seq = self.flight_seq;
+        self.flight_seq += 1;
+        self.flight.push_back(FlightEvent {
+            at_us,
+            tid: self.tid,
+            seq,
+            kind,
+            name,
+            task,
+            value,
+            label,
+        });
     }
 }
 
@@ -158,9 +192,11 @@ pub(crate) static SHARDED: ShardedRecorder = ShardedRecorder;
 
 impl Recorder for ShardedRecorder {
     fn counter_add(&self, name: &'static str, label: Option<&str>, delta: u64) {
+        let at_us = crate::clock::now_micros();
         with_shard(|s| {
-            *s.counters.entry((name, label.unwrap_or("").to_string())).or_insert(0) +=
-                delta;
+            let label = label.unwrap_or("").to_string();
+            *s.counters.entry((name, label.clone())).or_insert(0) += delta;
+            s.flight_push(at_us, "counter", name, NO_TASK, delta, label);
         });
     }
 
@@ -181,15 +217,38 @@ impl Recorder for ShardedRecorder {
         with_shard(|s| {
             let seq = s.seq;
             s.seq += 1;
+            let dur_us = span.end_us.saturating_sub(span.start_us);
+            s.flight_push(span.end_us, "span", span.name, span.task, dur_us, String::new());
             s.spans.push(SpanRow {
                 name: span.name,
                 task: span.task,
                 tid: s.tid,
                 seq,
                 start_us: span.start_us,
-                dur_us: span.end_us.saturating_sub(span.start_us),
+                dur_us,
                 labels: span.labels,
             });
         });
     }
+}
+
+/// Collect every current-generation shard's flight ring, merged into one
+/// chronological record (`(at_us, tid, seq)` order — `seq` breaks the
+/// microsecond ties a single shard can produce). Safe to call from any
+/// thread mid-session: each ring is copied under its shard lock, exactly
+/// like the `snapshot` merge.
+pub(crate) fn flight_events() -> Vec<FlightEvent> {
+    let generation = GENERATION.load(Ordering::Acquire);
+    let mut out = Vec::new();
+    let registry = relock(REGISTRY.lock());
+    for arc in registry.iter() {
+        let shard = relock(arc.lock());
+        if shard.generation != generation {
+            continue;
+        }
+        out.extend(shard.flight.iter().cloned());
+    }
+    drop(registry);
+    out.sort_by_key(|e| (e.at_us, e.tid, e.seq));
+    out
 }

@@ -12,6 +12,11 @@
 # collapse + bit-identity" (check.sh proves the identity half), not
 # throughput. Speedups are computed vs the 1-worker leg per cell.
 #
+# Every (cell, threads) leg also appends a record to
+# results/BENCH_history.jsonl; the thread count is part of the series
+# key, so `ckpt-bench regress` never compares a 1-worker leg against an
+# 8-worker one.
+#
 # Usage: scripts/bench_exec_scaling.sh [TRACES]
 #   TRACES — per-cell trace count (default 24, the BENCH_pipeline cell)
 set -euo pipefail
@@ -33,7 +38,8 @@ for cell in bench lanl18 lanl19; do
     f="$tmpdir/${cell}_t${t}.json"
     echo "== $cell @ --threads $t =="
     target/release/bench_pipeline --cell "$cell" --threads "$t" \
-      --traces "$TRACES" --label "${cell}-t${t}" --search coarse --out "$f"
+      --traces "$TRACES" --label "${cell}-t${t}" --search coarse --out "$f" \
+      --history results/BENCH_history.jsonl
     runs=$(jq --slurpfile r "$f" --arg cell "$cell" --argjson t "$t" '
       . + [{
         cell: $cell,

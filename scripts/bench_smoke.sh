@@ -13,7 +13,14 @@
 #      counters, so a perf regression is visible at a glance;
 #   3. assert that a checkpointing-off study run (`run --no-checkpoint`)
 #      leaves the checkpoint store untouched — durability must be
-#      strictly opt-in, with zero filesystem footprint when off.
+#      strictly opt-in, with zero filesystem footprint when off;
+#   4. a regress preflight: `ckpt-bench regress` replays the committed
+#      results/BENCH_history.jsonl (schema validation + rolling-median
+#      verdict) so a malformed history line or an already-recorded
+#      slowdown surfaces here, not in the next nightly append. The
+#      smoke's own bench run passes `--history none` — a reduced-trace
+#      cell is not a comparable record and must never pollute the
+#      history.
 #
 # Usage: scripts/bench_smoke.sh [TRACES]
 #   TRACES — trace count for the bench cell (default 4; seeds are fixed,
@@ -49,7 +56,7 @@ echo "golden cells byte-identical ($(ls results/golden/*.json | wc -l) files)"
 
 echo "== bench cell (traces=$TRACES, fixed seeds) =="
 cargo run --release -q -p ckpt-exp --bin bench_pipeline -- \
-  --traces "$TRACES" --label smoke --search coarse | \
+  --traces "$TRACES" --label smoke --search coarse --history none | \
   if command -v jq >/dev/null; then
     jq '{total_seconds, stages: .pipeline.stages, plan_cache: .pipeline.plan_cache}'
   else
@@ -65,5 +72,10 @@ if [ -e "$store" ]; then
   exit 1
 fi
 echo "store untouched by --no-checkpoint run"
+
+echo "== regress preflight (committed bench history) =="
+cargo build --release -q -p ckpt-bench
+target/release/ckpt-bench regress \
+  --history results/BENCH_history.jsonl --out "$tmp/BENCH_regress.txt"
 
 echo "== bench_smoke.sh: all green =="

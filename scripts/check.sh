@@ -29,7 +29,15 @@
 #      the durability contract, proven end-to-end through real process
 #      death rather than an in-process stop hook. The kill leg runs at
 #      --threads 2 and the resume leg at --threads 8, so the snapshot
-#      format is also proven worker-count-portable.
+#      format is also proven worker-count-portable. The killed store
+#      must also contain a readable flight-recorder dump
+#      (flightrec.json) — the observability half of the durability
+#      story;
+#   8. the bench-regression gate: ckpt-bench's own tests, then the
+#      regress sentinel against a committed 20% slowdown fixture (must
+#      flag it, exit 1) and against the real results/BENCH_history.jsonl
+#      (must validate the schema and pass, refreshing
+#      results/BENCH_regress.txt).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -86,6 +94,18 @@ if [ "$status" -ne 137 ]; then
   echo "kill-and-resume: expected SIGKILL exit 137, got $status" >&2
   exit 1
 fi
+# The SIGKILL'd store must hold a readable last-N-events flight dump
+# next to its snapshots (written whenever the checkpoint writer
+# commits; `recording: true` because the obs build of step 3 owns
+# target/release/ckpt-exp at this point).
+if [ ! -s "$study_tmp/killres/flightrec.json" ]; then
+  echo "kill-and-resume: killed store is missing flightrec.json" >&2
+  exit 1
+fi
+grep -q '"recording": true' "$study_tmp/killres/flightrec.json" || {
+  echo "kill-and-resume: flightrec.json is not a live recording" >&2
+  exit 1
+}
 target/release/ckpt-exp run --study golden --resume killres \
   --study-root "$study_tmp" --checkpoint-items 4 --threads 8
 for f in results/golden/*.json; do
@@ -95,5 +115,27 @@ for f in results/golden/*.json; do
   fi
 done
 echo "resumed aggregates byte-identical ($(ls results/golden/*.json | wc -l) files)"
+
+echo "== bench-regression gate (ckpt-bench regress) =="
+# The sentinel crate sits outside default-members like ckpt-lint: build
+# and test it here, then prove both verdict directions. The slowdown
+# fixture's latest record is ~20% over its rolling median and MUST exit
+# 1; the real history MUST parse (schema validation is part of the run)
+# and pass, refreshing results/BENCH_regress.txt.
+cargo build -q --release -p ckpt-bench
+cargo test -q -p ckpt-bench --lib
+set +e
+target/release/ckpt-bench regress \
+  --history crates/bench/tests/fixtures/history_slowdown.jsonl \
+  --out "$study_tmp/BENCH_regress_fixture.txt" >/dev/null
+fixture_status=$?
+set -e
+if [ "$fixture_status" -ne 1 ]; then
+  echo "bench-regress: slowdown fixture must exit 1, got $fixture_status" >&2
+  exit 1
+fi
+target/release/ckpt-bench regress \
+  --history results/BENCH_history.jsonl --out results/BENCH_regress.txt
+echo "regress sentinel: fixture flagged, real history passes"
 
 echo "== check.sh: all green =="
